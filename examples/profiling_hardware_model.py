@@ -1,0 +1,38 @@
+"""Profiling with the simulated memory hierarchy (mini Figure 5/6).
+
+Runs one aggregation query through the five code versions of the
+paper's Section VI-A, collecting the simulated hardware counters —
+retired instructions, function calls, D1 accesses, prefetch
+efficiencies, CPI — and the modelled execution-time breakdown.
+
+Run with::
+
+    python examples/profiling_hardware_model.py
+"""
+
+from repro.bench.experiments import fig6
+from repro.memsim import costs
+
+
+def main() -> None:
+    print(
+        "Modelled platform: Intel Core 2 Duo 6300 "
+        f"({costs.CPU_FREQUENCY_HZ / 1e9:.2f} GHz, "
+        f"D1 {costs.D1_SIZE // 1024} KB, L2 {costs.L2_SIZE // 1024 // 1024}"
+        " MB, latencies 3/9/14/28/77 cycles)"
+    )
+    print()
+    for result in fig6("small"):
+        print(result.render())
+        print()
+    print(
+        "Reading the tables: as the code becomes more query-specific\n"
+        "(generic iterators -> HIQUE), retired instructions, function\n"
+        "calls and data accesses collapse; the cost of memory stalls per\n"
+        "instruction grows, so CPI rises on memory-bound aggregation —\n"
+        "both effects the paper reports in Section VI-A."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""``python -m repro`` starts the interactive SQL shell."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,120 @@
+"""High-level convenience API: a `Database` wrapping catalog + engines.
+
+This is the entry point the examples use::
+
+    from repro import Database, Column, INT, DOUBLE
+
+    db = Database()
+    db.create_table("t", [Column("a", INT), Column("b", DOUBLE)])
+    db.load_rows("t", [(1, 2.0), (2, 4.0)])
+    db.analyze()
+    rows = db.execute("SELECT a, sum(b) AS s FROM t GROUP BY a")
+
+The default engine is HIQUE (holistic code generation); the comparison
+engines are available through :meth:`Database.engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.emitter import OPT_O2
+from repro.core.engine import HiqueEngine
+from repro.engines.vectorized import VectorizedEngine
+from repro.engines.volcano import VolcanoEngine
+from repro.errors import ReproError
+from repro.plan.optimizer import PlannerConfig
+from repro.storage.buffer import BufferManager
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Column, Schema
+from repro.storage.table import Table
+
+#: Engine configurations selectable through :meth:`Database.engine`.
+ENGINE_KINDS = (
+    "hique",  # holistic code generation (the paper's system)
+    "hique-o0",  # holistic generation without inlining optimizations
+    "volcano",  # optimized iterators
+    "volcano-generic",  # generic iterators (PostgreSQL analogue)
+    "systemx",  # optimized iterators + buffering (System X analogue)
+    "vectorized",  # DSM column engine (MonetDB analogue)
+)
+
+
+class Database:
+    """A catalogue of tables plus lazily constructed engines."""
+
+    def __init__(
+        self,
+        buffer_capacity: int = 4096,
+        planner_config: PlannerConfig | None = None,
+    ):
+        self.buffer = BufferManager(buffer_capacity)
+        self.catalog = Catalog(self.buffer)
+        self.planner_config = (
+            planner_config if planner_config is not None else PlannerConfig()
+        )
+        self._engines: dict[str, Any] = {}
+
+    # -- schema & data ---------------------------------------------------------------
+    def create_table(
+        self, name: str, columns: Sequence[Column] | Schema
+    ) -> Table:
+        schema = columns if isinstance(columns, Schema) else Schema(columns)
+        return self.catalog.create_table(name, schema)
+
+    def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.catalog.table(name).load_rows(rows)
+
+    def analyze(self, name: str | None = None) -> None:
+        self.catalog.analyze(name)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    # -- engines -----------------------------------------------------------------------
+    def engine(self, kind: str = "hique"):
+        """An engine instance by configuration name (cached)."""
+        if kind not in ENGINE_KINDS:
+            raise ReproError(
+                f"unknown engine {kind!r}; choose from {ENGINE_KINDS}"
+            )
+        if kind not in self._engines:
+            self._engines[kind] = self._build_engine(kind)
+        return self._engines[kind]
+
+    def _build_engine(self, kind: str):
+        config = self.planner_config
+        if kind == "hique":
+            return HiqueEngine(self.catalog, planner_config=config)
+        if kind == "hique-o0":
+            return HiqueEngine(
+                self.catalog, planner_config=config, opt_level="O0"
+            )
+        if kind == "volcano":
+            return VolcanoEngine(self.catalog, planner_config=config)
+        if kind == "volcano-generic":
+            return VolcanoEngine(
+                self.catalog, generic=True, planner_config=config
+            )
+        if kind == "systemx":
+            return VolcanoEngine(
+                self.catalog, buffered=True, planner_config=config
+            )
+        return VectorizedEngine(self.catalog, planner_config=config)
+
+    # -- querying -----------------------------------------------------------------------
+    def execute(self, sql: str, engine: str = "hique") -> list[tuple]:
+        """Run one query through the chosen engine."""
+        return self.engine(engine).execute(sql)
+
+    def explain(self, sql: str) -> str:
+        """The physical plan the shared optimizer produces."""
+        hique: HiqueEngine = self.engine("hique")
+        return hique.explain(sql)
+
+    def generated_source(
+        self, sql: str, opt_level: str = OPT_O2
+    ) -> str:
+        """The HIQUE-generated Python source for a query."""
+        hique: HiqueEngine = self.engine("hique")
+        return hique.generate_source(sql, opt_level=opt_level)

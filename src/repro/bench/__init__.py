@@ -1,0 +1,52 @@
+"""Benchmark harness: workloads, systems, and experiment drivers."""
+
+from repro.bench.experiments import (
+    SCALES,
+    Scale,
+    fig5,
+    fig6,
+    fig7a,
+    fig7b,
+    fig7c,
+    fig7d,
+    fig8,
+    get_scale,
+    make_tpch_database,
+    run_all,
+    table2,
+    table3,
+)
+from repro.bench.reporting import ExperimentResult, render_table, speedup
+from repro.bench.synth import (
+    make_group_table,
+    make_join_pair,
+    make_team_tables,
+    synth_schema,
+)
+from repro.bench.systems import FIGURE8_SYSTEMS, SystemConfig
+
+__all__ = [
+    "ExperimentResult",
+    "FIGURE8_SYSTEMS",
+    "SCALES",
+    "Scale",
+    "SystemConfig",
+    "fig5",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig7d",
+    "fig8",
+    "get_scale",
+    "make_group_table",
+    "make_join_pair",
+    "make_team_tables",
+    "make_tpch_database",
+    "render_table",
+    "run_all",
+    "speedup",
+    "synth_schema",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,83 @@
+"""Result structures and text rendering for the experiment harness.
+
+Every experiment driver returns an :class:`ExperimentResult` — headers
+plus rows — which renders as an aligned text table resembling the
+paper's figures/tables and feeds EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure: a labelled grid of measurements."""
+
+    name: str
+    headers: list[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        return render_table(self.name, self.headers, self.rows, self.notes)
+
+    def column(self, header: str) -> list[Any]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, header: str, value: Any) -> Sequence[Any]:
+        index = self.headers.index(header)
+        for row in self.rows:
+            if row[index] == value:
+                return row
+        raise KeyError(value)
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    name: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Render an aligned fixed-width text table."""
+    formatted = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    out = [f"== {name} ==", line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in formatted)
+    for note in notes:
+        out.append(f"note: {note}")
+    return "\n".join(out)
+
+
+def speedup(baseline: float, value: float) -> float:
+    """Baseline-over-value ratio (>1 means faster than baseline)."""
+    if value <= 0:
+        return float("inf")
+    return baseline / value

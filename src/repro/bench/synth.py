@@ -1,0 +1,142 @@
+"""Synthetic workload generators for the Section VI-A/VI-B experiments.
+
+The paper's microbenchmarks use tables of 72-byte tuples with integer
+join/grouping attributes and controlled match counts.  A 72-byte tuple
+here is one INT key plus eight INT payload fields (9 × 8 bytes), so the
+on-page layout matches the paper's exactly.
+
+All generators are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Column, Schema
+from repro.storage.table import Table
+from repro.storage.types import INT
+
+#: Payload fields per tuple so that key + payload = 72 bytes.
+PAYLOAD_FIELDS = 8
+
+
+def synth_schema(key_name: str = "k") -> Schema:
+    """The 72-byte tuple schema: key + eight payload integers."""
+    columns = [Column(key_name, INT)]
+    columns.extend(
+        Column(f"f{i}", INT) for i in range(1, PAYLOAD_FIELDS + 1)
+    )
+    return Schema(columns)
+
+
+def make_join_pair(
+    catalog: Catalog,
+    outer_rows: int,
+    inner_rows: int,
+    matches_per_outer: int,
+    outer_name: str = "outer_t",
+    inner_name: str = "inner_t",
+    seed: int = 42,
+) -> tuple[Table, Table]:
+    """Two tables joined on ``k`` with a controlled match count.
+
+    Every key value appears ``matches_per_outer`` times in the inner
+    table, and outer keys are drawn uniformly from the same domain, so
+    each outer tuple matches exactly ``matches_per_outer`` inner tuples
+    — the knob Figures 5 and 7(c) turn.
+    """
+    if matches_per_outer <= 0 or inner_rows % matches_per_outer:
+        raise ValueError(
+            "inner_rows must be a positive multiple of matches_per_outer"
+        )
+    rng = random.Random(seed)
+    distinct = inner_rows // matches_per_outer
+    schema = synth_schema()
+
+    outer = catalog.create_table(outer_name, schema)
+    outer.load_rows(
+        _payload_rows(rng, (rng.randrange(distinct) for _ in range(outer_rows)))
+    )
+
+    inner = catalog.create_table(inner_name, schema)
+    inner_keys = [key for key in range(distinct) for _ in range(matches_per_outer)]
+    rng.shuffle(inner_keys)
+    inner.load_rows(_payload_rows(rng, iter(inner_keys)))
+
+    catalog.analyze(outer_name)
+    catalog.analyze(inner_name)
+    return outer, inner
+
+
+def make_group_table(
+    catalog: Catalog,
+    rows: int,
+    distinct_groups: int,
+    name: str = "events",
+    seed: int = 42,
+) -> Table:
+    """One table whose ``k`` attribute has a controlled distinct count —
+    the grouping-cardinality knob of Figures 6 and 7(d)."""
+    if distinct_groups <= 0:
+        raise ValueError("distinct_groups must be positive")
+    rng = random.Random(seed)
+    schema = synth_schema()
+    table = catalog.create_table(name, schema)
+    table.load_rows(
+        _payload_rows(
+            rng, (rng.randrange(distinct_groups) for _ in range(rows))
+        )
+    )
+    catalog.analyze(name)
+    return table
+
+
+def make_team_tables(
+    catalog: Catalog,
+    big_rows: int,
+    small_rows: int,
+    num_small: int,
+    big_name: str = "fact",
+    seed: int = 42,
+) -> list[Table]:
+    """A star-ish join team: one big table plus ``num_small`` tables all
+    sharing the key domain (Figure 7(b)).
+
+    Keys 0..small_rows-1 appear once in each small table and
+    ``big_rows // small_rows`` times in the big table, so the output
+    cardinality equals ``big_rows`` regardless of how many tables join.
+    """
+    if big_rows % small_rows:
+        raise ValueError("big_rows must be a multiple of small_rows")
+    rng = random.Random(seed)
+    schema = synth_schema()
+    tables: list[Table] = []
+
+    big = catalog.create_table(big_name, schema)
+    big_keys = [key for key in range(small_rows) for _ in range(big_rows // small_rows)]
+    rng.shuffle(big_keys)
+    big.load_rows(_payload_rows(rng, iter(big_keys)))
+    catalog.analyze(big_name)
+    tables.append(big)
+
+    for index in range(num_small):
+        name = f"dim{index}"
+        small = catalog.create_table(name, schema)
+        keys = list(range(small_rows))
+        rng.shuffle(keys)
+        small.load_rows(_payload_rows(rng, iter(keys)))
+        catalog.analyze(name)
+        tables.append(small)
+    return tables
+
+
+def _payload_rows(rng: random.Random, keys) -> list[tuple]:
+    """Rows of (key, f1..f8) with pseudo-random payload values."""
+    rows = []
+    for key in keys:
+        payload = tuple(
+            rng.randrange(1_000_000) for _ in range(PAYLOAD_FIELDS)
+        )
+        rows.append((key, *payload))
+    return rows

@@ -1,0 +1,49 @@
+"""System configurations for the Figure 8 comparison.
+
+Maps the paper's four systems onto this repository's engines
+(substitutions documented in DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import Database
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One comparison system: display name + engine kind."""
+
+    label: str
+    engine_kind: str
+    description: str
+
+
+#: The Figure 8 line-up, in the paper's presentation order.
+FIGURE8_SYSTEMS = (
+    SystemConfig(
+        "PostgreSQL*",
+        "volcano-generic",
+        "generic interpreted iterators over NSM",
+    ),
+    SystemConfig(
+        "System X*",
+        "systemx",
+        "optimized iterators + buffering over NSM",
+    ),
+    SystemConfig(
+        "MonetDB*",
+        "vectorized",
+        "column-at-a-time DSM engine with full materialisation",
+    ),
+    SystemConfig(
+        "HIQUE",
+        "hique",
+        "holistic per-query code generation over NSM",
+    ),
+)
+
+
+def engine_for(db: Database, system: SystemConfig):
+    return db.engine(system.engine_kind)

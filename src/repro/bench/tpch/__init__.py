@@ -1,0 +1,7 @@
+"""TPC-H substrate: schemas, deterministic dbgen, and Q1/Q3/Q10."""
+
+from repro.bench.tpch.dbgen import generate_tpch
+from repro.bench.tpch.queries import Q1, Q3, Q10, QUERIES
+from repro.bench.tpch.schema import ALL_SCHEMAS
+
+__all__ = ["ALL_SCHEMAS", "Q1", "Q10", "Q3", "QUERIES", "generate_tpch"]

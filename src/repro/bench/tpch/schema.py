@@ -1,0 +1,125 @@
+"""TPC-H schemas (all eight tables, official column sets).
+
+Types follow the engine's type system: DECIMAL → DOUBLE, DATE → day
+ordinal, fixed/variable text → CHAR/VARCHAR fixed slots.  Comment
+columns are kept (they are part of what makes TPC-H tuples wide — the
+property that favours the DSM engine in Figure 8) but generated short.
+"""
+
+from __future__ import annotations
+
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DATE, DOUBLE, INT, char, varchar
+
+
+def region_schema() -> Schema:
+    return Schema([
+        Column("r_regionkey", INT),
+        Column("r_name", char(25)),
+        Column("r_comment", varchar(80)),
+    ])
+
+
+def nation_schema() -> Schema:
+    return Schema([
+        Column("n_nationkey", INT),
+        Column("n_name", char(25)),
+        Column("n_regionkey", INT),
+        Column("n_comment", varchar(80)),
+    ])
+
+
+def supplier_schema() -> Schema:
+    return Schema([
+        Column("s_suppkey", INT),
+        Column("s_name", char(25)),
+        Column("s_address", varchar(40)),
+        Column("s_nationkey", INT),
+        Column("s_phone", char(15)),
+        Column("s_acctbal", DOUBLE),
+        Column("s_comment", varchar(60)),
+    ])
+
+
+def customer_schema() -> Schema:
+    return Schema([
+        Column("c_custkey", INT),
+        Column("c_name", varchar(25)),
+        Column("c_address", varchar(40)),
+        Column("c_nationkey", INT),
+        Column("c_phone", char(15)),
+        Column("c_acctbal", DOUBLE),
+        Column("c_mktsegment", char(10)),
+        Column("c_comment", varchar(60)),
+    ])
+
+
+def part_schema() -> Schema:
+    return Schema([
+        Column("p_partkey", INT),
+        Column("p_name", varchar(55)),
+        Column("p_mfgr", char(25)),
+        Column("p_brand", char(10)),
+        Column("p_type", varchar(25)),
+        Column("p_size", INT),
+        Column("p_container", char(10)),
+        Column("p_retailprice", DOUBLE),
+        Column("p_comment", varchar(23)),
+    ])
+
+
+def partsupp_schema() -> Schema:
+    return Schema([
+        Column("ps_partkey", INT),
+        Column("ps_suppkey", INT),
+        Column("ps_availqty", INT),
+        Column("ps_supplycost", DOUBLE),
+        Column("ps_comment", varchar(60)),
+    ])
+
+
+def orders_schema() -> Schema:
+    return Schema([
+        Column("o_orderkey", INT),
+        Column("o_custkey", INT),
+        Column("o_orderstatus", char(1)),
+        Column("o_totalprice", DOUBLE),
+        Column("o_orderdate", DATE),
+        Column("o_orderpriority", char(15)),
+        Column("o_clerk", char(15)),
+        Column("o_shippriority", INT),
+        Column("o_comment", varchar(40)),
+    ])
+
+
+def lineitem_schema() -> Schema:
+    return Schema([
+        Column("l_orderkey", INT),
+        Column("l_partkey", INT),
+        Column("l_suppkey", INT),
+        Column("l_linenumber", INT),
+        Column("l_quantity", DOUBLE),
+        Column("l_extendedprice", DOUBLE),
+        Column("l_discount", DOUBLE),
+        Column("l_tax", DOUBLE),
+        Column("l_returnflag", char(1)),
+        Column("l_linestatus", char(1)),
+        Column("l_shipdate", DATE),
+        Column("l_commitdate", DATE),
+        Column("l_receiptdate", DATE),
+        Column("l_shipinstruct", char(25)),
+        Column("l_shipmode", char(10)),
+        Column("l_comment", varchar(27)),
+    ])
+
+
+ALL_SCHEMAS = {
+    "region": region_schema,
+    "nation": nation_schema,
+    "supplier": supplier_schema,
+    "customer": customer_schema,
+    "part": part_schema,
+    "partsupp": partsupp_schema,
+    "orders": orders_schema,
+    "lineitem": lineitem_schema,
+}

@@ -1,0 +1,177 @@
+"""Interactive SQL shell over the holistic engine.
+
+Run with ``python -m repro``.  Meta-commands:
+
+* ``.help`` — list commands
+* ``.tables`` — list catalogued tables with row counts
+* ``.engine <kind>`` — switch engine (hique, hique-o0, volcano,
+  volcano-generic, systemx, vectorized)
+* ``.explain <sql>`` — show the physical plan
+* ``.source <sql>`` — show the generated Python module
+* ``.tpch [sf]`` — load a TPC-H instance (default scale factor 0.002)
+* ``.timing on|off`` — toggle per-query timing
+* ``.quit`` — exit
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.api import Database, ENGINE_KINDS
+from repro.errors import ReproError
+
+_PROMPT = "hique> "
+
+
+class Shell:
+    """A minimal REPL; one instance per session."""
+
+    def __init__(self, stdout=None):
+        self.db = Database()
+        self.engine_kind = "hique"
+        self.timing = True
+        self.stdout = stdout if stdout is not None else sys.stdout
+
+    # -- output ------------------------------------------------------------------
+    def write(self, text: str = "") -> None:
+        print(text, file=self.stdout)
+
+    def write_rows(self, names: list[str], rows: list[tuple]) -> None:
+        if not rows:
+            self.write("(no rows)")
+            return
+        widths = [len(n) for n in names]
+        rendered = [
+            [_format_cell(v) for v in row] for row in rows[:50]
+        ]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                if i < len(widths):
+                    widths[i] = max(widths[i], len(cell))
+        self.write(
+            "  ".join(n.ljust(widths[i]) for i, n in enumerate(names))
+        )
+        self.write("  ".join("-" * w for w in widths))
+        for row in rendered:
+            self.write(
+                "  ".join(cell.ljust(widths[i])
+                          for i, cell in enumerate(row))
+            )
+        if len(rows) > 50:
+            self.write(f"... {len(rows) - 50} more rows")
+        self.write(f"({len(rows)} rows)")
+
+    # -- command dispatch -----------------------------------------------------------
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False to exit."""
+        line = line.strip()
+        if not line:
+            return True
+        if line.startswith("."):
+            return self._meta(line)
+        self._run_sql(line)
+        return True
+
+    def _meta(self, line: str) -> bool:
+        command, _, argument = line.partition(" ")
+        argument = argument.strip()
+        if command in (".quit", ".exit"):
+            return False
+        if command == ".help":
+            self.write(__doc__ or "")
+        elif command == ".tables":
+            for table in self.db.catalog.tables():
+                self.write(
+                    f"{table.name:20s} {table.num_rows:>10,} rows  "
+                    f"{table.num_pages:>6,} pages"
+                )
+        elif command == ".engine":
+            if argument not in ENGINE_KINDS:
+                self.write(f"engines: {', '.join(ENGINE_KINDS)}")
+            else:
+                self.engine_kind = argument
+                self.write(f"engine set to {argument}")
+        elif command == ".explain":
+            try:
+                self.write(self.db.explain(argument))
+            except ReproError as exc:
+                self.write(f"error: {exc}")
+        elif command == ".source":
+            try:
+                self.write(self.db.generated_source(argument))
+            except ReproError as exc:
+                self.write(f"error: {exc}")
+        elif command == ".tpch":
+            scale = float(argument) if argument else 0.002
+            from repro.bench.tpch import generate_tpch
+
+            started = time.perf_counter()
+            generate_tpch(self.db.catalog, scale_factor=scale)
+            elapsed = time.perf_counter() - started
+            rows = self.db.table("lineitem").num_rows
+            self.write(
+                f"TPC-H @ SF {scale} loaded in {elapsed:.2f}s "
+                f"(lineitem: {rows:,} rows)"
+            )
+        elif command == ".timing":
+            self.timing = argument != "off"
+            self.write(f"timing {'on' if self.timing else 'off'}")
+        else:
+            self.write(f"unknown command {command}; try .help")
+        return True
+
+    def _run_sql(self, sql: str) -> None:
+        engine = self.db.engine(self.engine_kind)
+        try:
+            started = time.perf_counter()
+            rows = engine.execute(sql)
+            elapsed = time.perf_counter() - started
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        names = self._output_names(sql)
+        self.write_rows(names, rows)
+        if self.timing:
+            self.write(
+                f"[{self.engine_kind}] {elapsed * 1000:.2f} ms"
+            )
+
+    def _output_names(self, sql: str) -> list[str]:
+        try:
+            hique = self.db.engine("hique")
+            return hique.prepare(sql).output_names
+        except ReproError:
+            return []
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: optional args are SQL files to execute first."""
+    shell = Shell()
+    print("HIQUE reproduction shell — .help for commands, .quit to exit")
+    for path in (argv or []):
+        with open(path, encoding="utf-8") as handle:
+            for statement in handle.read().split(";"):
+                if statement.strip():
+                    shell.handle(statement)
+    try:
+        while True:
+            try:
+                line = input(_PROMPT)
+            except EOFError:
+                break
+            if not shell.handle(line):
+                break
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,103 @@
+"""Source emission utilities for the code generator.
+
+:class:`Emitter` accumulates indented Python lines; :class:`GenContext`
+carries everything template instantiation needs: the optimization level,
+whether probe instrumentation is woven in, and the registry of
+``struct`` unpacker constants shared across templates.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import CodegenError
+from repro.storage.types import DataType
+
+#: Generator optimization levels (the gcc -O0 / -O2 analogue).
+OPT_O0 = "O0"
+OPT_O2 = "O2"
+
+INDENT = "    "
+
+
+class Emitter:
+    """An indentation-aware line buffer."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._level = 0
+
+    def emit(self, text: str = "") -> None:
+        """Append one line (or several, newline separated)."""
+        if not text:
+            self._lines.append("")
+            return
+        prefix = INDENT * self._level
+        for line in text.split("\n"):
+            self._lines.append(prefix + line if line else "")
+
+    @contextmanager
+    def block(self, header: str) -> Iterator[None]:
+        """Emit ``header`` and indent the body one level."""
+        self.emit(header)
+        self._level += 1
+        try:
+            yield
+        finally:
+            self._level -= 1
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+@dataclass
+class GenContext:
+    """Shared state of one code-generation run."""
+
+    opt_level: str = OPT_O2
+    traced: bool = False
+    #: struct format → module-level unpacker constant name.
+    unpackers: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.opt_level not in (OPT_O0, OPT_O2):
+            raise CodegenError(f"unknown optimization level {self.opt_level!r}")
+
+    @property
+    def optimized(self) -> bool:
+        return self.opt_level == OPT_O2
+
+    # -- unpacker registry -----------------------------------------------------
+    def unpacker(self, struct_char: str) -> str:
+        """Name of the module-level unpack_from bound to this format."""
+        name = self.unpackers.get(struct_char)
+        if name is None:
+            name = f"_u_{struct_char.replace(' ', '')}"
+            self.unpackers[struct_char] = name
+        return name
+
+    def field_decode(
+        self, dtype: DataType, data_var: str, offset_expr: str
+    ) -> str:
+        """Source reading one field straight out of a page buffer.
+
+        This is the Python analogue of the paper's pointer cast: a
+        precompiled ``struct.Struct.unpack_from`` applied at a constant
+        offset, with no generic accessor in between.
+        """
+        unpack = self.unpacker(dtype.struct_char)
+        raw = f"{unpack}({data_var}, {offset_expr})[0]"
+        if dtype.is_string:
+            return f"{raw}.rstrip(_SP).decode()"
+        return raw
+
+    def preamble_lines(self) -> list[str]:
+        """Module-level constant definitions for registered unpackers."""
+        lines = []
+        for struct_char, name in sorted(self.unpackers.items()):
+            lines.append(
+                f'{name} = _struct.Struct("<{struct_char}").unpack_from'
+            )
+        return lines

@@ -1,0 +1,193 @@
+"""HIQUE — the Holistic Integrated Query Engine (reproduction).
+
+The façade tying the pipeline of Figure 2 together: SQL text → parser →
+binder → optimizer → code generator → compiler → executor.  It measures
+each preparation stage separately (Table III reports parse, optimize,
+generate and compile times plus generated file sizes) and keeps a
+prepared-query cache, since "it is common for systems to store
+pre-compiled and pre-optimized versions of frequently or recently
+issued queries".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+
+from repro.core.compiler import CompiledQuery, QueryCompiler
+from repro.core.emitter import OPT_O2
+from repro.core.executor import run_compiled
+from repro.core.generator import CodeGenerator, GeneratedQuery
+from repro.errors import MapDirectoryOverflow
+from repro.memsim.probe import NULL_PROBE, NullProbe
+from repro.plan.descriptors import AGG_HYBRID, PhysicalPlan
+from repro.plan.optimizer import Optimizer, PlannerConfig
+from repro.sql.binder import Binder
+from repro.sql.bound import BoundQuery
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class PreparationTimings:
+    """Per-stage preparation cost in seconds (Table III)."""
+
+    parse_seconds: float = 0.0
+    optimize_seconds: float = 0.0
+    generate_seconds: float = 0.0
+    compile_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.parse_seconds
+            + self.optimize_seconds
+            + self.generate_seconds
+            + self.compile_seconds
+        )
+
+
+@dataclass
+class PreparedQuery:
+    """A query after the full preparation pipeline."""
+
+    sql: str
+    bound: BoundQuery
+    plan: PhysicalPlan
+    generated: GeneratedQuery
+    compiled: CompiledQuery
+    timings: PreparationTimings
+
+    @property
+    def output_names(self) -> list[str]:
+        return self.plan.output_names
+
+
+class HiqueEngine:
+    """The holistic query engine over a catalogue of tables."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        planner_config: PlannerConfig | None = None,
+        opt_level: str = OPT_O2,
+        workdir: str | None = None,
+    ):
+        self.catalog = catalog
+        self.planner_config = (
+            planner_config if planner_config is not None else PlannerConfig()
+        )
+        self.opt_level = opt_level
+        self.binder = Binder(catalog)
+        self.generator = CodeGenerator()
+        self.compiler = QueryCompiler(workdir)
+        self._cache: dict[tuple[str, str, bool], PreparedQuery] = {}
+
+    # -- preparation ----------------------------------------------------------------
+    def prepare(
+        self,
+        sql: str,
+        name: str = "query",
+        traced: bool = False,
+        opt_level: str | None = None,
+        use_cache: bool = True,
+        planner_config: PlannerConfig | None = None,
+    ) -> PreparedQuery:
+        """Run the full pipeline, returning the compiled query."""
+        level = opt_level if opt_level is not None else self.opt_level
+        key = (sql, level, traced)
+        if use_cache and planner_config is None and key in self._cache:
+            return self._cache[key]
+
+        timings = PreparationTimings()
+        started = time.perf_counter()
+        bound = self.binder.bind(parse(sql))
+        timings.parse_seconds = time.perf_counter() - started
+
+        config = (
+            planner_config if planner_config is not None else self.planner_config
+        )
+        started = time.perf_counter()
+        plan = Optimizer(self.catalog, config).plan(bound)
+        timings.optimize_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        generated = self.generator.generate(
+            plan, name=name, opt_level=level, traced=traced
+        )
+        timings.generate_seconds = time.perf_counter() - started
+
+        compiled = self.compiler.compile(generated)
+        timings.compile_seconds = compiled.compile_seconds
+
+        prepared = PreparedQuery(
+            sql=sql,
+            bound=bound,
+            plan=plan,
+            generated=generated,
+            compiled=compiled,
+            timings=timings,
+        )
+        if use_cache and planner_config is None:
+            self._cache[key] = prepared
+        return prepared
+
+    # -- execution ---------------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        name: str = "query",
+        probe: NullProbe = NULL_PROBE,
+        opt_level: str | None = None,
+        planner_config: PlannerConfig | None = None,
+    ) -> list[tuple]:
+        """Prepare (with caching) and run a query."""
+        prepared = self.prepare(
+            sql,
+            name=name,
+            traced=probe.enabled,
+            opt_level=opt_level,
+            planner_config=planner_config,
+        )
+        return self.execute_prepared(prepared, probe=probe)
+
+    def execute_prepared(
+        self, prepared: PreparedQuery, probe: NullProbe = NULL_PROBE
+    ) -> list[tuple]:
+        """Run a prepared query, re-planning on map-directory overflow."""
+        try:
+            return run_compiled(prepared.compiled, prepared.plan, probe=probe)
+        except MapDirectoryOverflow:
+            # Statistics were stale: fall back to hybrid hash-sort
+            # aggregation, which needs no capacity estimates.
+            fallback_config = dataclasses.replace(
+                self.planner_config, force_agg=AGG_HYBRID
+            )
+            fallback = self.prepare(
+                prepared.sql,
+                name=prepared.generated.name + "_fallback",
+                traced=prepared.compiled.traced,
+                opt_level=prepared.compiled.opt_level,
+                use_cache=False,
+                planner_config=fallback_config,
+            )
+            return run_compiled(fallback.compiled, fallback.plan, probe=probe)
+
+    # -- introspection ------------------------------------------------------------------
+    def generate_source(
+        self, sql: str, opt_level: str | None = None, traced: bool = False
+    ) -> str:
+        """The generated Python source for a query (for inspection)."""
+        return self.prepare(
+            sql, traced=traced, opt_level=opt_level, use_cache=False
+        ).generated.source
+
+    def explain(self, sql: str) -> str:
+        """The physical plan description for a query."""
+        bound = self.binder.bind(parse(sql))
+        plan = Optimizer(self.catalog, self.planner_config).plan(bound)
+        return plan.explain()
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,460 @@
+"""Aggregation templates: sort, hybrid hash-sort, and map aggregation.
+
+Section V-B of the paper.  All three inline group tracking and aggregate
+updates into a single code block: "the lack of function calls is
+particularly important in aggregation".
+
+* **sort aggregation** — input sorted on the grouping attributes; one
+  linear scan detects group boundaries and folds aggregates on the fly.
+* **hybrid hash-sort** — input partitioned on the first grouping
+  attribute with each partition sorted on all of them; the sort-scan
+  body runs per partition.
+* **map aggregation** — one value directory per grouping attribute plus
+  one array per aggregate function; each tuple's group maps to a scalar
+  offset via the formula of Figure 4(b):
+  ``offset = Σ_i M_i[v_i] · Π_{j>i} |M_j|``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.emitter import Emitter, GenContext
+from repro.errors import CodegenError
+from repro.memsim import costs
+from repro.plan.descriptors import AGG_HYBRID, AGG_MAP, AGG_SORT, Aggregate
+from repro.plan.expressions import expr_source, expr_source_resolved
+from repro.plan.layout import ColumnLayout
+from repro.sql.bound import (
+    BoundAggregate,
+    BoundArithmetic,
+    BoundColumn,
+    BoundExpr,
+)
+from repro.storage.types import DOUBLE
+
+
+def collect_aggregates(op: Aggregate) -> list[BoundAggregate]:
+    """Unique aggregate nodes across the operator's outputs, in order."""
+    seen: dict[BoundAggregate, None] = {}
+
+    def walk(expr: BoundExpr) -> None:
+        if isinstance(expr, BoundAggregate):
+            seen.setdefault(expr, None)
+        elif isinstance(expr, BoundArithmetic):
+            walk(expr.left)
+            walk(expr.right)
+
+    for output in op.outputs:
+        walk(output.expr)
+    return list(seen)
+
+
+class _AggCompiler:
+    """Shared accumulator-variable planning for all three algorithms."""
+
+    def __init__(self, op: Aggregate, input_layout: ColumnLayout):
+        self.op = op
+        self.input_layout = input_layout
+        self.aggregates = collect_aggregates(op)
+        #: aggregate node → accumulator variable names.
+        self.acc_vars: dict[BoundAggregate, dict[str, str]] = {}
+        for k, node in enumerate(self.aggregates):
+            names: dict[str, str] = {}
+            if node.func in ("sum", "avg"):
+                names["sum"] = f"s{k}"
+            if node.func in ("count", "avg"):
+                names["count"] = f"c{k}"
+            if node.func == "min":
+                names["min"] = f"m{k}"
+            if node.func == "max":
+                names["max"] = f"x{k}"
+            self.acc_vars[node] = names
+
+    # -- per-group accumulator lifecycle --------------------------------------
+    def init_lines(self) -> list[str]:
+        lines = []
+        for node in self.aggregates:
+            names = self.acc_vars[node]
+            if "sum" in names:
+                zero = "0.0" if node.dtype == DOUBLE else "0"
+                lines.append(f"{names['sum']} = {zero}")
+            if "count" in names:
+                lines.append(f"{names['count']} = 0")
+            if "min" in names:
+                lines.append(f"{names['min']} = None")
+            if "max" in names:
+                lines.append(f"{names['max']} = None")
+        return lines
+
+    def update_lines(self, row_var: str) -> list[str]:
+        lines = []
+        for node in self.aggregates:
+            names = self.acc_vars[node]
+            arg = (
+                expr_source(node.argument, self.input_layout, row_var)
+                if node.argument is not None
+                else None
+            )
+            if "sum" in names:
+                lines.append(f"{names['sum']} += {arg}")
+            if "count" in names:
+                lines.append(f"{names['count']} += 1")
+            if "min" in names:
+                var = names["min"]
+                lines.append(f"_v = {arg}")
+                lines.append(f"if {var} is None or _v < {var}:")
+                lines.append(f"    {var} = _v")
+            if "max" in names:
+                var = names["max"]
+                lines.append(f"_v = {arg}")
+                lines.append(f"if {var} is None or _v > {var}:")
+                lines.append(f"    {var} = _v")
+        return lines
+
+    def result_source(self, node: BoundAggregate) -> str:
+        names = self.acc_vars[node]
+        if node.func == "sum":
+            return names["sum"]
+        if node.func == "count":
+            return names["count"]
+        if node.func == "avg":
+            return (
+                f"(({names['sum']} / {names['count']}) "
+                f"if {names['count']} else None)"
+            )
+        if node.func == "min":
+            return names["min"]
+        return names["max"]
+
+    # -- output row -------------------------------------------------------------
+    def output_tuple_source(
+        self, group_var: Callable[[int], str]
+    ) -> str:
+        """Source of the output tuple given group-key variable naming.
+
+        ``group_var(i)`` names the value of the i-th grouping attribute.
+        """
+        position_of = {
+            pos: i for i, pos in enumerate(self.op.group_positions)
+        }
+
+        def resolve(column: BoundColumn) -> str:
+            input_pos = self.input_layout.position(column)
+            if input_pos not in position_of:
+                raise CodegenError(
+                    f"non-grouped column {column.display()} in aggregate "
+                    f"output"
+                )
+            return group_var(position_of[input_pos])
+
+        parts = []
+        for output in self.op.outputs:
+            parts.append(self._output_expr(output.expr, resolve))
+        inner = ", ".join(parts)
+        return f"({inner},)" if len(parts) == 1 else f"({inner})"
+
+    def _output_expr(
+        self, expr: BoundExpr, resolve: Callable[[BoundColumn], str]
+    ) -> str:
+        if isinstance(expr, BoundAggregate):
+            return self.result_source(expr)
+        if isinstance(expr, BoundArithmetic):
+            left = self._output_expr(expr.left, resolve)
+            right = self._output_expr(expr.right, resolve)
+            return f"({left} {expr.op} {right})"
+        return expr_source_resolved(expr, resolve)
+
+
+def emit_aggregate(
+    em: Emitter,
+    gen: GenContext,
+    op: Aggregate,
+    func_name: str,
+    input_layout: ColumnLayout,
+) -> None:
+    """Emit the aggregation function for one Aggregate descriptor."""
+    compiler = _AggCompiler(op, input_layout)
+    if not op.group_positions:
+        _emit_global_aggregate(em, gen, op, func_name, compiler)
+    elif op.algorithm == AGG_MAP:
+        _emit_map_aggregate(em, gen, op, func_name, compiler)
+    elif op.algorithm == AGG_SORT:
+        _emit_sorted_aggregate(em, gen, op, func_name, compiler, hybrid=False)
+    elif op.algorithm == AGG_HYBRID:
+        _emit_sorted_aggregate(em, gen, op, func_name, compiler, hybrid=True)
+    else:  # pragma: no cover - guarded by the optimizer
+        raise AssertionError(op.algorithm)
+
+
+# -- global (group-less) aggregation ---------------------------------------------------
+
+
+def _emit_global_aggregate(
+    em: Emitter,
+    gen: GenContext,
+    op: Aggregate,
+    func_name: str,
+    compiler: _AggCompiler,
+) -> None:
+    row_bytes = len(compiler.input_layout) * 8
+    with em.block(f"def {func_name}(ctx, rows):"):
+        for line in compiler.init_lines():
+            em.emit(line)
+        if gen.traced:
+            em.emit("_probe = ctx.probe")
+            em.emit("_ib = ctx.probe.space.alloc(len(rows) * "
+                    f"{row_bytes} + 64)")
+            em.emit("_ri = 0")
+        with em.block("for row in rows:"):
+            if gen.traced:
+                em.emit(f"_probe.load(_ib + _ri * {row_bytes}, {row_bytes})")
+                em.emit("_ri += 1")
+                em.emit(f"_probe.instr({_update_instr(compiler)})")
+            for line in compiler.update_lines("row"):
+                em.emit(line)
+        em.emit(
+            f"return [{compiler.output_tuple_source(lambda i: '_none_')}]"
+        )
+    em.emit()
+
+
+# -- sort / hybrid aggregation ----------------------------------------------------------
+
+
+def _emit_sorted_aggregate(
+    em: Emitter,
+    gen: GenContext,
+    op: Aggregate,
+    func_name: str,
+    compiler: _AggCompiler,
+    hybrid: bool,
+) -> None:
+    if not gen.optimized:
+        _emit_generic_aggregate(em, op, func_name, hybrid)
+        return
+    row_bytes = len(compiler.input_layout) * 8
+    argument = "parts" if hybrid else "rows"
+    with em.block(f"def {func_name}(ctx, {argument}):"):
+        em.emit("out = []")
+        em.emit("append = out.append")
+        if gen.traced:
+            em.emit("_probe = ctx.probe")
+            em.emit("_ib = ctx.probe.space.alloc(1 << 26)")
+            em.emit("_ri = 0")
+        if hybrid:
+            with em.block("for rows in parts:"):
+                _emit_sorted_scan_body(em, gen, op, compiler, row_bytes)
+        else:
+            _emit_sorted_scan_body(em, gen, op, compiler, row_bytes)
+        em.emit("return out")
+    em.emit()
+
+
+def _emit_sorted_scan_body(
+    em: Emitter,
+    gen: GenContext,
+    op: Aggregate,
+    compiler: _AggCompiler,
+    row_bytes: int,
+) -> None:
+    """Linear scan over group-sorted rows with inline group tracking."""
+    positions = op.group_positions
+    em.emit("n = len(rows)")
+    em.emit("i = 0")
+    with em.block("while i < n:"):
+        em.emit("row = rows[i]")
+        for g, position in enumerate(positions):
+            em.emit(f"gk{g} = row[{position}]")
+        for line in compiler.init_lines():
+            em.emit(line)
+        with em.block("while i < n:"):
+            em.emit("row = rows[i]")
+            if gen.traced:
+                em.emit(f"_probe.load(_ib + _ri * {row_bytes}, {row_bytes})")
+                em.emit("_ri += 1")
+                em.emit(f"_probe.instr({_update_instr(compiler)})")
+            boundary = " or ".join(
+                f"row[{position}] != gk{g}"
+                for g, position in enumerate(positions)
+            )
+            with em.block(f"if {boundary}:"):
+                em.emit("break")
+            for line in compiler.update_lines("row"):
+                em.emit(line)
+            em.emit("i += 1")
+        em.emit(
+            f"append({compiler.output_tuple_source(lambda g: f'gk{g}')})"
+        )
+
+
+# -- map aggregation ------------------------------------------------------------------------
+
+
+def _emit_map_aggregate(
+    em: Emitter,
+    gen: GenContext,
+    op: Aggregate,
+    func_name: str,
+    compiler: _AggCompiler,
+) -> None:
+    if not gen.optimized:
+        _emit_generic_aggregate(em, op, func_name, hybrid=False, use_map=True)
+        return
+    positions = op.group_positions
+    sizes = [max(s, 1) for s in op.directory_sizes]
+    n_groups = 1
+    for size in sizes:
+        n_groups *= size
+    #: Multiplier for directory i: product of |M_j| for j > i (Fig. 4b).
+    multipliers = []
+    for g in range(len(sizes)):
+        product = 1
+        for j in range(g + 1, len(sizes)):
+            product *= sizes[j]
+        multipliers.append(product)
+    row_bytes = len(compiler.input_layout) * 8
+    num_aggs = max(len(compiler.aggregates), 1)
+
+    with em.block(f"def {func_name}(ctx, rows):"):
+        for g in range(len(positions)):
+            em.emit(f"dir{g} = {{}}")
+        em.emit(f"_keys = [None] * {n_groups}")
+        for k, node in enumerate(compiler.aggregates):
+            for kind, var in compiler.acc_vars[node].items():
+                if kind == "sum":
+                    zero = "0.0" if node.dtype == DOUBLE else "0"
+                    em.emit(f"a_{var} = [{zero}] * {n_groups}")
+                elif kind == "count":
+                    em.emit(f"a_{var} = [0] * {n_groups}")
+                else:
+                    em.emit(f"a_{var} = [None] * {n_groups}")
+        if gen.traced:
+            em.emit("_probe = ctx.probe")
+            em.emit(f"_ib = ctx.probe.space.alloc(len(rows) * {row_bytes} + 64)")
+            em.emit(f"_db = ctx.probe.space.alloc({sum(sizes)} * 16 + 64)")
+            em.emit(
+                f"_ab = ctx.probe.space.alloc({n_groups * 8 * num_aggs} + 64)"
+            )
+            em.emit("_ri = 0")
+        with em.block("for row in rows:"):
+            if gen.traced:
+                em.emit(f"_probe.load(_ib + _ri * {row_bytes}, {row_bytes})")
+                em.emit("_ri += 1")
+                em.emit(
+                    f"_probe.instr({_update_instr(compiler) + len(positions) * costs.HASH_INSTRUCTIONS})"
+                )
+            dir_base = 0
+            for g, position in enumerate(positions):
+                em.emit(f"v{g} = row[{position}]")
+                em.emit(f"i{g} = dir{g}.get(v{g}, -1)")
+                with em.block(f"if i{g} < 0:"):
+                    em.emit(f"i{g} = len(dir{g})")
+                    with em.block(f"if i{g} >= {sizes[g]}:"):
+                        em.emit("raise _MapOverflow()")
+                    em.emit(f"dir{g}[v{g}] = i{g}")
+                if gen.traced:
+                    em.emit(
+                        f"_probe.load(_db + {dir_base} + "
+                        f"(hash(v{g}) % {sizes[g]}) * 16, 16)"
+                    )
+                dir_base += sizes[g] * 16
+            offset_terms = " + ".join(
+                f"i{g} * {multipliers[g]}" if multipliers[g] != 1 else f"i{g}"
+                for g in range(len(positions))
+            )
+            em.emit(f"_g = {offset_terms}")
+            if gen.traced:
+                em.emit(
+                    f"_probe.load(_ab + _g * {8 * num_aggs}, {8 * num_aggs})"
+                )
+            key_tuple = ", ".join(f"v{g}" for g in range(len(positions)))
+            if len(positions) == 1:
+                key_tuple += ","
+            with em.block("if _keys[_g] is None:"):
+                em.emit(f"_keys[_g] = ({key_tuple})")
+            _emit_map_updates(em, compiler)
+        # Emit output rows in first-seen group order.
+        em.emit("out = []")
+        em.emit("append = out.append")
+        with em.block(f"for _g in range({n_groups}):"):
+            em.emit("_key = _keys[_g]")
+            with em.block("if _key is None:"):
+                em.emit("continue")
+            for k, node in enumerate(compiler.aggregates):
+                for kind, var in compiler.acc_vars[node].items():
+                    em.emit(f"{var} = a_{var}[_g]")
+            em.emit(
+                f"append({compiler.output_tuple_source(lambda g: f'_key[{g}]')})"
+            )
+        em.emit("return out")
+    em.emit()
+
+
+def _emit_map_updates(em: Emitter, compiler: _AggCompiler) -> None:
+    for node in compiler.aggregates:
+        names = compiler.acc_vars[node]
+        arg = (
+            expr_source(node.argument, compiler.input_layout, "row")
+            if node.argument is not None
+            else None
+        )
+        if "sum" in names:
+            em.emit(f"a_{names['sum']}[_g] += {arg}")
+        if "count" in names:
+            em.emit(f"a_{names['count']}[_g] += 1")
+        if "min" in names:
+            var = f"a_{names['min']}"
+            em.emit(f"_v = {arg}")
+            with em.block(f"if {var}[_g] is None or _v < {var}[_g]:"):
+                em.emit(f"{var}[_g] = _v")
+        if "max" in names:
+            var = f"a_{names['max']}"
+            em.emit(f"_v = {arg}")
+            with em.block(f"if {var}[_g] is None or _v > {var}[_g]:"):
+                em.emit(f"{var}[_g] = _v")
+
+
+# -- O0 path ------------------------------------------------------------------------------------
+
+
+def _emit_generic_aggregate(
+    em: Emitter,
+    op: Aggregate,
+    func_name: str,
+    hybrid: bool,
+    use_map: bool = False,
+) -> None:
+    argument = "parts" if hybrid else "rows"
+    with em.block(f"def {func_name}(ctx, {argument}):"):
+        em.emit(f"helpers = ctx.agg_helpers[{op.op_id}]")
+        if use_map:
+            em.emit(
+                f"return _rt.hash_group_aggregate({argument}, "
+                f"helpers.key_fn, helpers.init, helpers.update, "
+                f"helpers.finalize)"
+            )
+        elif hybrid:
+            em.emit("out = []")
+            with em.block(f"for rows in {argument}:"):
+                em.emit(
+                    f"out.extend(_rt.sorted_group_scan(rows, "
+                    f"{tuple(op.group_positions)!r}, helpers.init, "
+                    f"helpers.update, helpers.finalize))"
+                )
+            em.emit("return out")
+        else:
+            em.emit(
+                f"return _rt.sorted_group_scan(rows, "
+                f"{tuple(op.group_positions)!r}, helpers.init, "
+                f"helpers.update, helpers.finalize)"
+            )
+    em.emit()
+
+
+def _update_instr(compiler: _AggCompiler) -> int:
+    return (
+        costs.LOOP_ITER_INSTRUCTIONS
+        + len(compiler.aggregates) * costs.AGGREGATE_UPDATE_INSTRUCTIONS
+        + len(compiler.op.group_positions) * costs.PREDICATE_INSTRUCTIONS
+    )

@@ -1,0 +1,88 @@
+"""Final-stage templates: projection, ORDER BY sorting, LIMIT."""
+
+from __future__ import annotations
+
+from repro.core.emitter import Emitter, GenContext
+from repro.memsim import costs
+from repro.plan.descriptors import Limit, Project, Sort
+from repro.plan.expressions import expr_source
+from repro.plan.layout import ColumnLayout
+
+
+def emit_project(
+    em: Emitter,
+    gen: GenContext,
+    op: Project,
+    func_name: str,
+    input_layout: ColumnLayout,
+) -> None:
+    """Evaluate the select-list expressions over the final joined rows."""
+    with em.block(f"def {func_name}(ctx, rows):"):
+        if not gen.optimized:
+            em.emit(f"projector = ctx.projectors[{op.op_id}]")
+            em.emit("return [projector(row) for row in rows]")
+        else:
+            expressions = ", ".join(
+                expr_source(output.expr, input_layout, "row")
+                for output in op.outputs
+            )
+            if len(op.outputs) == 1:
+                expressions += ","
+            if gen.traced:
+                row_bytes = len(input_layout) * 8
+                em.emit("_probe = ctx.probe")
+                em.emit(
+                    f"_ib = ctx.probe.space.alloc(len(rows) * {row_bytes} "
+                    f"+ 64)"
+                )
+                em.emit("out = []")
+                em.emit("append = out.append")
+                em.emit("_ri = 0")
+                with em.block("for row in rows:"):
+                    em.emit(
+                        f"_probe.load(_ib + _ri * {row_bytes}, {row_bytes})"
+                    )
+                    em.emit("_ri += 1")
+                    em.emit(
+                        f"_probe.instr("
+                        f"{costs.LOOP_ITER_INSTRUCTIONS + len(op.outputs) * costs.FIELD_ACCESS_INSTRUCTIONS})"
+                    )
+                    em.emit(f"append(({expressions}))")
+                em.emit("return out")
+            else:
+                em.emit(f"return [({expressions}) for row in rows]")
+    em.emit()
+
+
+def emit_sort(em: Emitter, gen: GenContext, op: Sort, func_name: str) -> None:
+    """ORDER BY over the output rows."""
+    with em.block(f"def {func_name}(ctx, rows):"):
+        if not gen.optimized:
+            em.emit(f"return _rt.sort_rows_mixed(rows, {tuple(op.keys)!r})")
+        else:
+            directions = {ascending for _, ascending in op.keys}
+            if len(directions) == 1:
+                positions = ", ".join(str(p) for p, _ in op.keys)
+                reverse = ", reverse=True" if False in directions else ""
+                em.emit(f"rows.sort(key=_itemgetter({positions}){reverse})")
+            else:
+                # Mixed directions: stable passes, last key first.
+                for position, ascending in reversed(op.keys):
+                    reverse = "" if ascending else ", reverse=True"
+                    em.emit(
+                        f"rows.sort(key=_itemgetter({position}){reverse})"
+                    )
+            if gen.traced:
+                with em.block("if len(rows) > 1:"):
+                    em.emit(
+                        f"ctx.probe.instr(int(len(rows) * _log2(len(rows)))"
+                        f" * {costs.SORT_STEP_INSTRUCTIONS})"
+                    )
+            em.emit("return rows")
+    em.emit()
+
+
+def emit_limit(em: Emitter, gen: GenContext, op: Limit, func_name: str) -> None:
+    with em.block(f"def {func_name}(ctx, rows):"):
+        em.emit(f"return rows[:{op.count}]")
+    em.emit()

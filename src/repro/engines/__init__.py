@@ -1,0 +1,15 @@
+"""Query evaluation engines: the paper's comparison points.
+
+* :mod:`repro.engines.volcano` — iterator engine (generic / optimized /
+  buffered configurations).
+* :mod:`repro.engines.hardcoded` — hand-written plans for the profiling
+  microbenchmarks.
+* :mod:`repro.engines.vectorized` — DSM column engine (MonetDB analog).
+
+The paper's own contribution lives in :mod:`repro.core`.
+"""
+
+from repro.engines.vectorized import VectorizedEngine
+from repro.engines.volcano import VolcanoEngine
+
+__all__ = ["VectorizedEngine", "VolcanoEngine"]

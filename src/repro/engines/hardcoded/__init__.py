@@ -1,0 +1,15 @@
+"""Hand-coded query plans (the paper's Section VI-A baselines)."""
+
+from repro.engines.hardcoded.queries import (
+    hybrid_agg_hardcoded,
+    hybrid_join_hardcoded,
+    map_agg_hardcoded,
+    merge_join_hardcoded,
+)
+
+__all__ = [
+    "hybrid_agg_hardcoded",
+    "hybrid_join_hardcoded",
+    "map_agg_hardcoded",
+    "merge_join_hardcoded",
+]

@@ -1,0 +1,496 @@
+"""Hand-coded query implementations for the Section VI-A comparison.
+
+The paper profiles five code versions of the same four microbenchmark
+queries.  Two of them are hand-written plans rather than engines:
+
+* **generic hard-coded** — the algorithm is hard-wired (no iterators),
+  but field accesses and predicate evaluation still go through generic
+  helper functions, one call per access;
+* **optimized hard-coded** — direct tuple access by offset ("pointer
+  arithmetic"): precompiled ``struct`` unpackers at constant offsets and
+  primitive comparisons, with only the unavoidable calls left (page
+  loads and output collection).
+
+HIQUE's generated code goes one step further by also inlining predicate
+evaluation into the loop body, which is why it edges out the optimized
+hard-coded version in the paper's measurements.
+
+All functions take a ``collect`` flag: the profiling harness counts
+output tuples without materialising them (the paper does not
+materialise results), while correctness tests collect and compare.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Any
+
+from repro.memsim import costs
+from repro.memsim.probe import NULL_PROBE, NullProbe
+from repro.storage.page import HEADER_SIZE
+from repro.storage.table import Table
+
+# -- generic helpers (the calls the generic style pays for) -----------------------
+
+
+def _get_field(page, slot: int, index: int) -> Any:
+    """Generic field accessor: the virtual-function stand-in."""
+    return page.read_field(slot, index)
+
+
+def _eq(a: Any, b: Any) -> bool:
+    return a == b
+
+
+def _lt(a: Any, b: Any) -> bool:
+    return a < b
+
+
+def _add_to_result(out: list | None, row: tuple) -> int:
+    if out is not None:
+        out.append(row)
+    return 1
+
+
+def _identity(value):
+    """Un-inlined pass-through used to emulate compiling at -O0."""
+    return value
+
+
+# -- staging --------------------------------------------------------------------------
+
+
+def _stage_generic(
+    table: Table,
+    fields: tuple[int, ...],
+    probe: NullProbe,
+    deopt: bool = False,
+) -> list[tuple]:
+    """Scan + project through generic accessor calls."""
+    out: list[tuple] = []
+    file_id = table.file.file_id
+    row_bytes = len(fields) * 8
+    stage_addr = (
+        probe.space.alloc((table.num_rows + 1) * row_bytes)
+        if probe.enabled
+        else 0
+    )
+    for page_no in range(table.num_pages):
+        page = table.read_page(page_no)
+        for slot in range(page.num_tuples):
+            if probe.enabled:
+                probe.instr(costs.LOOP_ITER_INSTRUCTIONS)
+                base = probe.space.page_addr(
+                    file_id, page_no, page.slot_offset(slot)
+                )
+                for index in fields:
+                    probe.call(1)
+                    probe.load(
+                        base + page.schema.offset_of(index),
+                        page.schema[index].dtype.size,
+                    )
+                    probe.instr(costs.FIELD_ACCESS_INSTRUCTIONS)
+                probe.call(1)  # add_to_result
+                probe.load(stage_addr + len(out) * row_bytes, row_bytes)
+            if deopt:
+                row = tuple(
+                    _identity(_get_field(page, slot, index))
+                    for index in fields
+                )
+            else:
+                row = tuple(
+                    _get_field(page, slot, index) for index in fields
+                )
+            out.append(row)
+    return out
+
+
+def _stage_optimized(
+    table: Table,
+    fields: tuple[int, ...],
+    probe: NullProbe,
+    deopt: bool = False,
+) -> list[tuple]:
+    """Scan + project with precompiled unpackers at constant offsets."""
+    out: list[tuple] = []
+    append = out.append
+    schema = table.schema
+    tuple_size = schema.tuple_size
+    decoders = [
+        (schema.offset_of(index), schema.field_codec(index).unpack_from,
+         schema[index].dtype)
+        for index in fields
+    ]
+    file_id = table.file.file_id
+    read_page = table.read_page
+    traced = probe.enabled
+    row_bytes = len(fields) * 8
+    stage_addr = (
+        probe.space.alloc((table.num_rows + 1) * row_bytes) if traced else 0
+    )
+    for page_no in range(table.num_pages):
+        page = read_page(page_no)
+        data = page.data
+        if traced:
+            page_base = probe.space.page_addr(file_id, page_no)
+        offset = HEADER_SIZE
+        for _slot in range(page.num_tuples):
+            if traced:
+                probe.instr(
+                    costs.LOOP_ITER_INSTRUCTIONS
+                    + len(decoders) * costs.FIELD_ACCESS_INSTRUCTIONS
+                )
+                for field_offset, _u, dtype in decoders:
+                    probe.load(page_base + offset + field_offset, dtype.size)
+                probe.load(stage_addr + len(out) * row_bytes, row_bytes)
+            values = []
+            for field_offset, unpack, dtype in decoders:
+                value = unpack(data, offset + field_offset)[0]
+                if dtype.is_string:
+                    value = value.rstrip(b" ").decode()
+                if deopt:
+                    value = _identity(value)
+                values.append(value)
+            append(tuple(values))
+            offset += tuple_size
+    return out
+
+
+# -- merge join (Join Query #1 shape) -----------------------------------------------------
+
+
+def merge_join_hardcoded(
+    left: Table,
+    right: Table,
+    left_key: int,
+    right_key: int,
+    left_fields: tuple[int, ...],
+    right_fields: tuple[int, ...],
+    style: str = "optimized",
+    probe: NullProbe = NULL_PROBE,
+    collect: bool = False,
+    deopt: bool = False,
+) -> list[tuple] | int:
+    """Sort-stage both inputs, then merge join.
+
+    ``left_key``/``right_key`` index into the *staged* field tuples.
+    """
+    stage = _stage_generic if style == "generic" else _stage_optimized
+    left_rows = stage(left, left_fields, probe, deopt)
+    right_rows = stage(right, right_fields, probe, deopt)
+    left_rows.sort(key=itemgetter(left_key))
+    right_rows.sort(key=itemgetter(right_key))
+    _charge_sort(probe, len(left_rows))
+    _charge_sort(probe, len(right_rows))
+
+    out: list[tuple] | None = [] if collect else None
+    count = 0
+    generic = style == "generic"
+    i = 0
+    j = 0
+    n_left = len(left_rows)
+    n_right = len(right_rows)
+    traced = probe.enabled
+    lrb = len(left_fields) * 8
+    rrb = len(right_fields) * 8
+    if traced:
+        left_addr = probe.space.alloc((n_left + 1) * lrb)
+        right_addr = probe.space.alloc((n_right + 1) * rrb)
+    while i < n_left and j < n_right:
+        if traced:
+            probe.instr(2 * costs.PREDICATE_INSTRUCTIONS)
+            probe.load(left_addr + i * lrb, lrb)
+            probe.load(right_addr + j * rrb, rrb)
+            if generic:
+                probe.call(2)  # comparator helpers
+        left_row = left_rows[i]
+        key = left_row[left_key]
+        right_value = right_rows[j][right_key]
+        if _lt(key, right_value) if generic else key < right_value:
+            i += 1
+            continue
+        if _lt(right_value, key) if generic else key > right_value:
+            j += 1
+            continue
+        group_start = j
+        while j < n_right and (
+            _eq(right_rows[j][right_key], key)
+            if generic
+            else right_rows[j][right_key] == key
+        ):
+            if traced:
+                probe.instr(costs.LOOP_ITER_INSTRUCTIONS)
+                probe.call(1)  # add_to_result
+                probe.load(right_addr + j * rrb, rrb)
+                if generic:
+                    probe.call(1)
+            count += _add_to_result(out, left_row + right_rows[j])
+            j += 1
+        i += 1
+        while i < n_left and (
+            _eq(left_rows[i][left_key], key)
+            if generic
+            else left_rows[i][left_key] == key
+        ):
+            left_row = left_rows[i]
+            for back in range(group_start, j):
+                if traced:
+                    probe.instr(costs.LOOP_ITER_INSTRUCTIONS)
+                    probe.call(1)
+                    probe.load(right_addr + back * rrb, rrb)
+                count += _add_to_result(out, left_row + right_rows[back])
+            i += 1
+    return out if collect else count
+
+
+# -- hybrid hash-sort-merge join (Join Query #2 shape) --------------------------------------
+
+
+def hybrid_join_hardcoded(
+    left: Table,
+    right: Table,
+    left_key: int,
+    right_key: int,
+    left_fields: tuple[int, ...],
+    right_fields: tuple[int, ...],
+    num_partitions: int = 64,
+    style: str = "optimized",
+    probe: NullProbe = NULL_PROBE,
+    collect: bool = False,
+    deopt: bool = False,
+) -> list[tuple] | int:
+    """Coarse-partition both inputs, sort and merge partition pairs."""
+    stage = _stage_generic if style == "generic" else _stage_optimized
+    left_rows = stage(left, left_fields, probe, deopt)
+    right_rows = stage(right, right_fields, probe, deopt)
+    mask = num_partitions - 1
+    left_parts: list[list[tuple]] = [[] for _ in range(num_partitions)]
+    right_parts: list[list[tuple]] = [[] for _ in range(num_partitions)]
+    lrb = len(left_fields) * 8
+    rrb = len(right_fields) * 8
+    band = 1 << 20
+    part_addr = (
+        probe.space.alloc(2 * num_partitions * band)
+        if probe.enabled
+        else 0
+    )
+    for row in left_rows:
+        bucket = hash(row[left_key]) & mask
+        left_parts[bucket].append(row)
+        if probe.enabled:
+            probe.instr(costs.HASH_INSTRUCTIONS)
+            probe.load(
+                part_addr + bucket * band
+                + (len(left_parts[bucket]) * lrb) % band, lrb,
+            )
+    for row in right_rows:
+        bucket = hash(row[right_key]) & mask
+        right_parts[bucket].append(row)
+        if probe.enabled:
+            probe.instr(costs.HASH_INSTRUCTIONS)
+            probe.load(
+                part_addr + (num_partitions + bucket) * band
+                + (len(right_parts[bucket]) * rrb) % band, rrb,
+            )
+
+    out: list[tuple] | None = [] if collect else None
+    count = 0
+    generic = style == "generic"
+    traced = probe.enabled
+    for left_part, right_part in zip(left_parts, right_parts):
+        if not left_part or not right_part:
+            continue
+        left_part.sort(key=itemgetter(left_key))
+        right_part.sort(key=itemgetter(right_key))
+        _charge_sort(probe, len(left_part))
+        _charge_sort(probe, len(right_part))
+        i = 0
+        j = 0
+        n_left = len(left_part)
+        n_right = len(right_part)
+        while i < n_left and j < n_right:
+            if traced:
+                probe.instr(2 * costs.PREDICATE_INSTRUCTIONS)
+                probe.load(part_addr + (i * lrb) % band, lrb)
+                probe.load(part_addr + band + (j * rrb) % band, rrb)
+                if generic:
+                    probe.call(2)
+            left_row = left_part[i]
+            key = left_row[left_key]
+            right_value = right_part[j][right_key]
+            if key < right_value:
+                i += 1
+                continue
+            if key > right_value:
+                j += 1
+                continue
+            group_start = j
+            while j < n_right and right_part[j][right_key] == key:
+                if traced:
+                    probe.instr(costs.LOOP_ITER_INSTRUCTIONS)
+                    probe.call(1)
+                    probe.load(part_addr + band + (j * rrb) % band, rrb)
+                count += _add_to_result(out, left_row + right_part[j])
+                j += 1
+            i += 1
+            while i < n_left and left_part[i][left_key] == key:
+                left_row = left_part[i]
+                for back in range(group_start, j):
+                    if traced:
+                        probe.instr(costs.LOOP_ITER_INSTRUCTIONS)
+                        probe.call(1)
+                        probe.load(
+                            part_addr + band + (back * rrb) % band, rrb
+                        )
+                    count += _add_to_result(out, left_row + right_part[back])
+                i += 1
+    return out if collect else count
+
+
+# -- hybrid hash-sort aggregation (Aggregation Query #1 shape) ---------------------------------
+
+
+def hybrid_agg_hardcoded(
+    table: Table,
+    group_field: int,
+    sum_fields: tuple[int, int],
+    fields: tuple[int, ...],
+    num_partitions: int = 64,
+    style: str = "optimized",
+    probe: NullProbe = NULL_PROBE,
+    deopt: bool = False,
+) -> list[tuple]:
+    """Partition on the group key, sort partitions, aggregate per scan.
+
+    ``group_field``/``sum_fields`` index into the staged field tuples.
+    """
+    stage = _stage_generic if style == "generic" else _stage_optimized
+    rows = stage(table, fields, probe, deopt)
+    mask = num_partitions - 1
+    partitions: list[list[tuple]] = [[] for _ in range(num_partitions)]
+    row_bytes = len(fields) * 8
+    band = 1 << 20
+    part_addr = (
+        probe.space.alloc(num_partitions * band) if probe.enabled else 0
+    )
+    for row in rows:
+        bucket = hash(row[group_field]) & mask
+        partitions[bucket].append(row)
+        if probe.enabled:
+            probe.instr(costs.HASH_INSTRUCTIONS)
+            probe.load(
+                part_addr + bucket * band
+                + (len(partitions[bucket]) * row_bytes) % band, row_bytes,
+            )
+
+    generic = style == "generic"
+    traced = probe.enabled
+    s1_field, s2_field = sum_fields
+    out: list[tuple] = []
+    append = out.append
+    for partition in partitions:
+        if not partition:
+            continue
+        partition.sort(key=itemgetter(group_field))
+        _charge_sort(probe, len(partition))
+        n = len(partition)
+        i = 0
+        while i < n:
+            row = partition[i]
+            key = row[group_field]
+            total_1 = 0.0
+            total_2 = 0.0
+            while i < n:
+                row = partition[i]
+                if traced:
+                    probe.instr(
+                        costs.LOOP_ITER_INSTRUCTIONS
+                        + 2 * costs.AGGREGATE_UPDATE_INSTRUCTIONS
+                        + costs.PREDICATE_INSTRUCTIONS
+                    )
+                    probe.load(
+                        part_addr + (i * row_bytes) % band, row_bytes
+                    )
+                    if generic:
+                        probe.call(3)  # key compare + two accessors
+                if row[group_field] != key:
+                    break
+                if deopt:
+                    total_1 += _identity(row[s1_field])
+                    total_2 += _identity(row[s2_field])
+                else:
+                    total_1 += row[s1_field]
+                    total_2 += row[s2_field]
+                i += 1
+            append((key, total_1, total_2))
+    return out
+
+
+# -- map aggregation (Aggregation Query #2 shape) --------------------------------------------------
+
+
+def map_agg_hardcoded(
+    table: Table,
+    group_field: int,
+    sum_fields: tuple[int, int],
+    fields: tuple[int, ...],
+    style: str = "optimized",
+    probe: NullProbe = NULL_PROBE,
+    deopt: bool = False,
+) -> list[tuple]:
+    """Single-pass aggregation through a value directory."""
+    stage = _stage_generic if style == "generic" else _stage_optimized
+    rows = stage(table, fields, probe, deopt)
+    generic = style == "generic"
+    traced = probe.enabled
+    s1_field, s2_field = sum_fields
+    directory: dict[Any, int] = {}
+    keys: list[Any] = []
+    totals_1: list[float] = []
+    totals_2: list[float] = []
+    row_bytes = len(fields) * 8
+    input_addr = (
+        probe.space.alloc((len(rows) + 1) * row_bytes) if traced else 0
+    )
+    dir_addr = probe.space.alloc(1 << 22) if traced else 0
+    row_index = 0
+    for row in rows:
+        if traced:
+            probe.instr(
+                costs.LOOP_ITER_INSTRUCTIONS
+                + costs.HASH_INSTRUCTIONS
+                + 2 * costs.AGGREGATE_UPDATE_INSTRUCTIONS
+            )
+            probe.load(input_addr + row_index * row_bytes, row_bytes)
+            row_index += 1
+            probe.load(
+                dir_addr
+                + (hash(row[group_field]) % max(len(directory), 1)) * 48,
+                48,
+            )
+            if generic:
+                probe.call(3)
+        value = row[group_field]
+        group = directory.get(value, -1)
+        if group < 0:
+            group = len(directory)
+            directory[value] = group
+            keys.append(value)
+            totals_1.append(0.0)
+            totals_2.append(0.0)
+        if deopt:
+            totals_1[group] += _identity(row[s1_field])
+            totals_2[group] += _identity(row[s2_field])
+        else:
+            totals_1[group] += row[s1_field]
+            totals_2[group] += row[s2_field]
+    return [
+        (keys[g], totals_1[g], totals_2[g]) for g in range(len(keys))
+    ]
+
+
+def _charge_sort(probe: NullProbe, n: int) -> None:
+    if probe.enabled and n > 1:
+        import math
+
+        probe.instr(int(n * math.log2(n)) * costs.SORT_STEP_INSTRUCTIONS)

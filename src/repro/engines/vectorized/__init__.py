@@ -1,0 +1,15 @@
+"""Vectorized DSM engine (the MonetDB analogue)."""
+
+from repro.engines.vectorized.engine import VectorizedEngine
+from repro.engines.vectorized.expressions import (
+    vector_conjunction,
+    vector_expr,
+    vector_predicate,
+)
+
+__all__ = [
+    "VectorizedEngine",
+    "vector_conjunction",
+    "vector_expr",
+    "vector_predicate",
+]

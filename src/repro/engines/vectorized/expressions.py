@@ -1,0 +1,110 @@
+"""Vectorized (column-at-a-time) expression evaluation.
+
+Bound expressions evaluate to whole NumPy arrays; comparisons evaluate
+to boolean masks.  String columns are fixed-width byte arrays, so
+literals are encoded and space-padded before comparing — keeping every
+operation a single array primitive, which is the MonetDB execution model
+the paper compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.plan.layout import ColumnLayout
+from repro.sql.bound import (
+    BoundArithmetic,
+    BoundColumn,
+    BoundComparison,
+    BoundExpr,
+    BoundLiteral,
+)
+
+
+def vector_expr(
+    expr: BoundExpr, layout: ColumnLayout, arrays: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Evaluate a scalar expression over column arrays."""
+    if isinstance(expr, BoundColumn):
+        return arrays[layout.position(expr)]
+    if isinstance(expr, BoundLiteral):
+        return _literal_value(expr)
+    if isinstance(expr, BoundArithmetic):
+        left = vector_expr(expr.left, layout, arrays)
+        right = vector_expr(expr.right, layout, arrays)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right
+        raise ExecutionError(f"unknown arithmetic op {expr.op!r}")
+    raise ExecutionError(f"cannot vector-evaluate {expr!r}")
+
+
+def vector_predicate(
+    comparison: BoundComparison,
+    layout: ColumnLayout,
+    arrays: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Evaluate one comparison to a boolean mask."""
+    left = vector_expr(comparison.left, layout, arrays)
+    right = vector_expr(comparison.right, layout, arrays)
+    left, right = _align_string_operands(left, right)
+    op = comparison.op
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    return left >= right
+
+
+def vector_conjunction(
+    comparisons: Sequence[BoundComparison],
+    layout: ColumnLayout,
+    arrays: Sequence[np.ndarray],
+    length: int,
+) -> np.ndarray:
+    """AND of all comparisons, as one mask (empty → all True)."""
+    if not comparisons:
+        return np.ones(length, dtype=bool)
+    mask = vector_predicate(comparisons[0], layout, arrays)
+    for comparison in comparisons[1:]:
+        mask &= vector_predicate(comparison, layout, arrays)
+    return mask
+
+
+def _literal_value(literal: BoundLiteral):
+    if isinstance(literal.value, str):
+        return literal.value.encode("utf-8")
+    return literal.value
+
+
+def _align_string_operands(left, right):
+    """Normalise byte-string operands for comparison.
+
+    DSM arrays hold unpadded bytes (NumPy ``S`` comparisons ignore
+    trailing NULs), so literals are stripped of the space padding the
+    NSM codec would add; differing widths are widened to a common size.
+    """
+    left_is_bytes = isinstance(left, np.ndarray) and left.dtype.kind == "S"
+    right_is_bytes = isinstance(right, np.ndarray) and right.dtype.kind == "S"
+    if left_is_bytes and isinstance(right, bytes):
+        return left, right.rstrip(b" ")
+    if right_is_bytes and isinstance(left, bytes):
+        return left.rstrip(b" "), right
+    if left_is_bytes and right_is_bytes and left.dtype != right.dtype:
+        width = max(left.dtype.itemsize, right.dtype.itemsize)
+        return left.astype(f"S{width}"), right.astype(f"S{width}")
+    return left, right

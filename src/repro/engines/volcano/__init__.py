@@ -1,0 +1,14 @@
+"""Volcano iterator engine (the paper's comparison baseline)."""
+
+from repro.engines.volcano.base import Iterator, drain, iterate
+from repro.engines.volcano.builder import BuildOptions, build_tree
+from repro.engines.volcano.engine import VolcanoEngine
+
+__all__ = [
+    "BuildOptions",
+    "Iterator",
+    "VolcanoEngine",
+    "build_tree",
+    "drain",
+    "iterate",
+]

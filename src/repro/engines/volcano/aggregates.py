@@ -1,0 +1,253 @@
+"""Iterator aggregation operators: sort, hybrid hash-sort, and map.
+
+The aggregation-function machinery (accumulators, finalisation) is the
+same closure bundle the O0 generated code uses —
+:class:`~repro.core.executor.AggHelpers` — so that the iterator engine
+implements the identical semantics through the identical generic calls,
+just with per-tuple ``next()`` traffic on top.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+
+from repro.core.executor import AggHelpers
+from repro.engines.volcano.base import Iterator
+from repro.engines.volcano.operators import Materialize, _charge_sort
+from repro.memsim import costs
+from repro.memsim.probe import NULL_PROBE, NullProbe
+
+
+class SortAggregate(Iterator):
+    """Streaming aggregation over a child sorted on the group keys."""
+
+    def __init__(
+        self,
+        child: Iterator,
+        group_positions: tuple[int, ...],
+        helpers: AggHelpers,
+        probe: NullProbe = NULL_PROBE,
+    ):
+        super().__init__(probe)
+        self.child = child
+        self.group_positions = group_positions
+        self.helpers = helpers
+        self._pending_row: tuple | None = None
+        self._done = False
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        self._pending_row = None
+        self._done = False
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+    def next(self) -> tuple | None:
+        if self._done:
+            return None
+        helpers = self.helpers
+        probe = self.probe
+        row = self._pending_row
+        if row is None:
+            row = self.child_next(self.child)
+            if row is None:
+                self._done = True
+                if not self.group_positions:
+                    # Global aggregate over an empty input still yields
+                    # one row.
+                    return helpers.finalize((), helpers.init())
+                return None
+        key = helpers.key_fn(row)
+        state = helpers.init()
+        while row is not None:
+            if probe.enabled:
+                probe.call(1)  # aggregate-update helper call
+                probe.instr(costs.AGGREGATE_UPDATE_INSTRUCTIONS)
+            helpers.update(state, row)
+            row = self.child_next(self.child)
+            if row is None:
+                self._done = True
+                break
+            if helpers.key_fn(row) != key:
+                break
+        self._pending_row = row
+        self.touch_state()
+        return helpers.finalize(key, state)
+
+
+class HashAggregate(Iterator):
+    """Map-style aggregation: one pass, value directories (a dict)."""
+
+    def __init__(
+        self,
+        child: Iterator,
+        helpers: AggHelpers,
+        probe: NullProbe = NULL_PROBE,
+    ):
+        super().__init__(probe)
+        self.child = child
+        self.helpers = helpers
+        self._results: list[tuple] = []
+        self._cursor = 0
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        helpers = self.helpers
+        probe = self.probe
+        groups: dict[tuple, list] = {}
+        order: list[tuple] = []
+        saw_row = False
+        dir_addr = probe.space.alloc(1 << 22) if probe.enabled else 0
+        while True:
+            row = self.child_next(self.child)
+            if row is None:
+                break
+            saw_row = True
+            key = helpers.key_fn(row)
+            state = groups.get(key)
+            if state is None:
+                state = helpers.init()
+                groups[key] = state
+                order.append(key)
+            if probe.enabled:
+                probe.call(2)  # key extraction + update helper calls
+                probe.instr(
+                    costs.HASH_INSTRUCTIONS
+                    + costs.AGGREGATE_UPDATE_INSTRUCTIONS
+                )
+                # Directory + aggregate-slot access, random in the
+                # directory region (grows with the number of groups).
+                probe.load(
+                    dir_addr
+                    + (hash(key) % max(len(groups), 1)) * 48,
+                    48,
+                )
+            helpers.update(state, row)
+        if not saw_row and not order:
+            # Global aggregates produce a single row even on empty input.
+            if not _has_group_keys(helpers):
+                order.append(())
+                groups[()] = helpers.init()
+        self._results = [
+            helpers.finalize(key, groups[key]) for key in order
+        ]
+        self._cursor = 0
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+    def next(self) -> tuple | None:
+        if self._cursor >= len(self._results):
+            return None
+        row = self._results[self._cursor]
+        self._cursor += 1
+        self.touch_state()
+        return row
+
+
+class HybridAggregate(Iterator):
+    """Hybrid hash-sort aggregation: partition on the first group key,
+    sort each partition on all keys, aggregate per partition."""
+
+    def __init__(
+        self,
+        child: Iterator,
+        group_positions: tuple[int, ...],
+        helpers: AggHelpers,
+        num_partitions: int = 64,
+        probe: NullProbe = NULL_PROBE,
+    ):
+        super().__init__(probe)
+        self.child = Materialize(child, probe)
+        self.group_positions = group_positions
+        self.helpers = helpers
+        self.num_partitions = num_partitions
+        self._results: list[tuple] = []
+        self._cursor = 0
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        helpers = self.helpers
+        probe = self.probe
+        mask = self.num_partitions - 1
+        first = self.group_positions[0]
+        partitions: list[list[tuple]] = [
+            [] for _ in range(self.num_partitions)
+        ]
+        band = 1 << 20
+        part_addr = (
+            probe.space.alloc(self.num_partitions * band)
+            if probe.enabled
+            else 0
+        )
+        for row in self.child.rows:
+            bucket = hash(row[first]) & mask
+            partitions[bucket].append(row)
+            if probe.enabled:
+                probe.instr(costs.HASH_INSTRUCTIONS)
+                probe.load(
+                    part_addr + bucket * band
+                    + (len(partitions[bucket]) * 24) % band,
+                    24,
+                )
+        key_of = (
+            itemgetter(self.group_positions[0])
+            if len(self.group_positions) == 1
+            else itemgetter(*self.group_positions)
+        )
+        results: list[tuple] = []
+        for partition in partitions:
+            if not partition:
+                continue
+            partition.sort(key=key_of)
+            _charge_sort(probe, len(partition))
+            current_key: tuple | None = None
+            state: list | None = None
+            row_index = 0
+            for row in partition:
+                key = helpers.key_fn(row)
+                if key != current_key:
+                    if state is not None:
+                        results.append(helpers.finalize(current_key, state))
+                    current_key = key
+                    state = helpers.init()
+                if probe.enabled:
+                    probe.call(1)
+                    probe.instr(costs.AGGREGATE_UPDATE_INSTRUCTIONS)
+                    probe.load(part_addr + (row_index * 24) % band, 24)
+                helpers.update(state, row)
+                row_index += 1
+            if state is not None:
+                results.append(helpers.finalize(current_key, state))
+        self._results = results
+        self._cursor = 0
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+    def next(self) -> tuple | None:
+        if self._cursor >= len(self._results):
+            return None
+        row = self._results[self._cursor]
+        self._cursor += 1
+        self.touch_state()
+        return row
+
+
+def _has_group_keys(helpers: AggHelpers) -> bool:
+    """Whether the helpers' key function extracts any attributes.
+
+    Applying the key function to an empty row succeeds (yielding the
+    empty key) exactly when there are no grouping attributes.
+    """
+    try:
+        return len(helpers.key_fn(())) > 0
+    except IndexError:
+        return True

@@ -1,0 +1,117 @@
+"""The iterator (Volcano) model: open / next / close.
+
+Section II-B of the paper.  Every operator implements the three-function
+interface; tuples move one at a time through ``next()`` calls.  The
+probe hooks model the costs the paper attributes to the model: at least
+two function calls per in-flight tuple (caller request + callee
+propagation), per-call iterator state maintenance, and — in the
+*generic* configuration — a further call per field access and per
+predicate evaluation, standing in for virtual functions bound to the
+processed data types.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator as PyIterator
+
+from repro.errors import ExecutionError
+from repro.memsim import costs
+from repro.memsim.probe import NULL_PROBE, NullProbe
+
+#: Modeled size of an operator's internal state in bytes (cursor, child
+#: pointers, bookkeeping) — touched on every call.
+STATE_BYTES = 64
+
+
+class Iterator:
+    """Base class for Volcano operators."""
+
+    def __init__(self, probe: NullProbe = NULL_PROBE):
+        self.probe = probe
+        self._state_addr: int | None = None
+        if probe.enabled:
+            self._state_addr = probe.space.alloc(STATE_BYTES)
+        self._opened = False
+
+    # -- the iterator interface ----------------------------------------------
+    def open(self) -> None:
+        self._opened = True
+
+    def next(self) -> tuple | None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self._opened = False
+
+    # -- probe helpers ------------------------------------------------------------
+    def child_next(self, child: "Iterator") -> tuple | None:
+        """Pull one tuple from a child, charging the call round trip.
+
+        Pulling from a buffering child whose block is non-empty is a
+        short hop (an array fetch), which is exactly the saving of the
+        buffering operator [25]: only block refills pay the full
+        iterator-call cost.
+        """
+        probe = self.probe
+        if probe.enabled:
+            if child.serves_buffered():
+                probe.instr(2)  # amortised in-block fetch
+            else:
+                # One call for the request and one for the propagation.
+                probe.call(2)
+                probe.instr(costs.ITERATOR_STATE_INSTRUCTIONS)
+                probe.load(self._state_addr, STATE_BYTES)
+        return child.next()
+
+    def serves_buffered(self) -> bool:
+        """Whether the next ``next()`` is served from a filled buffer."""
+        return False
+
+    def touch_state(self) -> None:
+        """Charge one iterator-state update (per produced tuple)."""
+        probe = self.probe
+        if probe.enabled:
+            probe.instr(costs.ITERATOR_STATE_INSTRUCTIONS)
+            probe.load(self._state_addr, STATE_BYTES)
+
+
+def drain(root: Iterator) -> list[tuple]:
+    """Run a tree to completion, collecting the result rows."""
+    root.open()
+    out: list[tuple] = []
+    append = out.append
+    probe = root.probe
+    try:
+        while True:
+            if probe.enabled:
+                if root.serves_buffered():
+                    probe.instr(2)
+                else:
+                    probe.call(2)  # the consumer's request/propagation pair
+            row = root.next()
+            if row is None:
+                break
+            append(row)
+    finally:
+        root.close()
+    return out
+
+
+def iterate(root: Iterator) -> PyIterator[tuple]:
+    """Generator façade over a tree (used by tests and examples)."""
+    root.open()
+    try:
+        while True:
+            row = root.next()
+            if row is None:
+                return
+            yield row
+    finally:
+        root.close()
+
+
+def require_open(operator: Iterator) -> None:
+    if not operator._opened:
+        raise ExecutionError(
+            f"{type(operator).__name__}.next() before open()"
+        )

@@ -1,0 +1,64 @@
+"""The iterator-engine façade (PostgreSQL / System X analogues).
+
+``VolcanoEngine(generic=True)`` models the traditional interpreted
+engine (PostgreSQL in Figure 8); ``generic=False`` is the "optimized
+iterators" configuration of Figures 5–7; ``generic=False,
+buffered=True`` adds the buffering operator and stands in for System X.
+"""
+
+from __future__ import annotations
+
+from repro.engines.volcano.base import drain
+from repro.engines.volcano.builder import BuildOptions, build_tree
+from repro.memsim.probe import NULL_PROBE, NullProbe
+from repro.plan.descriptors import PhysicalPlan
+from repro.plan.optimizer import Optimizer, PlannerConfig
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog
+
+
+class VolcanoEngine:
+    """Iterator-based query engine over the shared optimizer."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        generic: bool = False,
+        buffered: bool = False,
+        deopt: bool = False,
+        planner_config: PlannerConfig | None = None,
+    ):
+        self.catalog = catalog
+        self.options = BuildOptions(
+            generic=generic, buffered=buffered, deopt=deopt
+        )
+        self.planner_config = (
+            planner_config if planner_config is not None else PlannerConfig()
+        )
+        self.binder = Binder(catalog)
+
+    def plan(
+        self, sql: str, planner_config: PlannerConfig | None = None
+    ) -> PhysicalPlan:
+        bound = self.binder.bind(parse(sql))
+        config = (
+            planner_config
+            if planner_config is not None
+            else self.planner_config
+        )
+        return Optimizer(self.catalog, config).plan(bound)
+
+    def execute(
+        self,
+        sql: str,
+        probe: NullProbe = NULL_PROBE,
+        planner_config: PlannerConfig | None = None,
+    ) -> list[tuple]:
+        return self.execute_plan(self.plan(sql, planner_config), probe)
+
+    def execute_plan(
+        self, plan: PhysicalPlan, probe: NullProbe = NULL_PROBE
+    ) -> list[tuple]:
+        root = build_tree(plan, self.options, probe)
+        return drain(root)

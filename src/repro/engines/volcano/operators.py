@@ -1,0 +1,445 @@
+"""Volcano operator implementations.
+
+Two code-quality configurations share these classes, matching the
+paper's Section VI-A comparison:
+
+* **generic** (``generic=True``) — field accesses and predicate
+  evaluations go through per-field accessor functions (the stand-in for
+  virtual, type-erased iterator functions), and scans decode tuples one
+  field at a time;
+* **optimized** (``generic=False``) — type-specialised: scans bulk
+  decode rows, predicates are a single fused closure, projections use
+  ``itemgetter``.
+
+Both remain iterators: every tuple still crosses every operator
+boundary through ``next()``.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Any, Callable, Sequence
+
+from repro.engines.volcano.base import Iterator
+from repro.memsim import costs
+from repro.memsim.probe import NULL_PROBE, NullProbe
+from repro.storage.page import HEADER_SIZE
+from repro.storage.table import Table
+
+
+class TableScan(Iterator):
+    """Full scan of an NSM table, decoding tuples to Python rows."""
+
+    def __init__(
+        self,
+        table: Table,
+        generic: bool = False,
+        probe: NullProbe = NULL_PROBE,
+    ):
+        super().__init__(probe)
+        self.table = table
+        self.generic = generic
+        self._page_no = 0
+        self._slot = 0
+        self._page = None
+        self._file_id = table.file.file_id
+
+    def open(self) -> None:
+        super().open()
+        self._page_no = 0
+        self._slot = 0
+        self._page = None
+
+    def next(self) -> tuple | None:
+        while True:
+            if self._page is None:
+                if self._page_no >= self.table.num_pages:
+                    return None
+                self._page = self.table.read_page(self._page_no)
+                self._slot = 0
+            page = self._page
+            if self._slot >= page.num_tuples:
+                self._page = None
+                self._page_no += 1
+                continue
+            slot = self._slot
+            self._slot += 1
+            self.touch_state()
+            if self.generic:
+                return self._decode_generic(page, slot)
+            return self._decode_optimized(page, slot)
+
+    def _decode_optimized(self, page, slot: int) -> tuple:
+        probe = self.probe
+        if probe.enabled:
+            schema = page.schema
+            base = probe.space.page_addr(
+                self._file_id, self._page_no, page.slot_offset(slot)
+            )
+            probe.load(base, schema.tuple_size)
+            probe.instr(
+                len(schema) * costs.FIELD_ACCESS_INSTRUCTIONS
+                + costs.LOOP_ITER_INSTRUCTIONS
+            )
+        return page.read(slot)
+
+    def _decode_generic(self, page, slot: int) -> tuple:
+        """Field-at-a-time decode through accessor calls (virtual-ish)."""
+        schema = page.schema
+        probe = self.probe
+        values = []
+        offset = page.slot_offset(slot)
+        for index, column in enumerate(schema.columns):
+            if probe.enabled:
+                probe.call(1)  # one accessor call per field
+                probe.load(
+                    probe.space.page_addr(
+                        self._file_id,
+                        self._page_no,
+                        offset + schema.offset_of(index),
+                    ),
+                    column.dtype.size,
+                )
+                probe.instr(costs.FIELD_ACCESS_INSTRUCTIONS)
+            values.append(page.read_field(slot, index))
+        return tuple(values)
+
+
+class Filter(Iterator):
+    """Selection.  Generic mode evaluates each conjunct via its own
+    closure (a call per predicate per tuple); optimized mode uses one
+    fused conjunction closure."""
+
+    def __init__(
+        self,
+        child: Iterator,
+        conjuncts: Sequence[Callable[[tuple], bool]],
+        fused: Callable[[tuple], bool] | None = None,
+        probe: NullProbe = NULL_PROBE,
+    ):
+        super().__init__(probe)
+        self.child = child
+        self.conjuncts = list(conjuncts)
+        self.fused = fused
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+    def next(self) -> tuple | None:
+        probe = self.probe
+        while True:
+            row = self.child_next(self.child)
+            if row is None:
+                return None
+            if self.fused is not None:
+                if probe.enabled:
+                    probe.call(1)
+                    probe.instr(costs.PREDICATE_INSTRUCTIONS)
+                if self.fused(row):
+                    return row
+                continue
+            passed = True
+            for predicate in self.conjuncts:
+                if probe.enabled:
+                    probe.call(1)
+                    probe.instr(costs.PREDICATE_INSTRUCTIONS)
+                if not predicate(row):
+                    passed = False
+                    break
+            if passed:
+                return row
+
+
+class Project(Iterator):
+    """Column projection / expression evaluation."""
+
+    def __init__(
+        self,
+        child: Iterator,
+        projector: Callable[[tuple], tuple],
+        calls_per_tuple: int = 1,
+        probe: NullProbe = NULL_PROBE,
+    ):
+        super().__init__(probe)
+        self.child = child
+        self.projector = projector
+        self.calls_per_tuple = calls_per_tuple
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+    def next(self) -> tuple | None:
+        row = self.child_next(self.child)
+        if row is None:
+            return None
+        probe = self.probe
+        if probe.enabled:
+            probe.call(self.calls_per_tuple)
+            probe.instr(
+                costs.COPY_WORD_INSTRUCTIONS * self.calls_per_tuple
+            )
+        return self.projector(row)
+
+
+class Materialize(Iterator):
+    """Blocking helper: drains a child into a list on open()."""
+
+    def __init__(self, child: Iterator, probe: NullProbe = NULL_PROBE):
+        super().__init__(probe)
+        self.child = child
+        self.rows: list[tuple] = []
+        self._cursor = 0
+        self._buffer_addr: int | None = None
+        self._row_bytes = 8
+
+    def touch_row(self, index: int) -> None:
+        """Charge one read of a materialised row (used by consumers that
+        index into ``rows`` directly, e.g. merge join)."""
+        if self.probe.enabled and self._buffer_addr is not None:
+            self.probe.load(
+                self._buffer_addr + index * self._row_bytes,
+                self._row_bytes,
+            )
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        self.rows = []
+        append = self.rows.append
+        while True:
+            row = self.child_next(self.child)
+            if row is None:
+                break
+            append(row)
+        self.child.close()
+        self._cursor = 0
+        probe = self.probe
+        if probe.enabled and self.rows:
+            self._row_bytes = len(self.rows[0]) * 8
+            self._buffer_addr = probe.space.alloc(
+                len(self.rows) * self._row_bytes
+            )
+            # Charge the sequential write sweep of the materialisation.
+            for i in range(0, len(self.rows), 8):
+                probe.load(
+                    self._buffer_addr + i * self._row_bytes,
+                    self._row_bytes * 8,
+                )
+
+    def materialized(self) -> list[tuple]:
+        return self.rows
+
+    def next(self) -> tuple | None:
+        if self._cursor >= len(self.rows):
+            return None
+        row = self.rows[self._cursor]
+        probe = self.probe
+        if probe.enabled and self._buffer_addr is not None:
+            probe.load(
+                self._buffer_addr + self._cursor * len(row) * 8,
+                len(row) * 8,
+            )
+        self._cursor += 1
+        self.touch_state()
+        return row
+
+
+class SortOperator(Materialize):
+    """Blocking sort (single direction keys)."""
+
+    def __init__(
+        self,
+        child: Iterator,
+        positions: Sequence[int],
+        probe: NullProbe = NULL_PROBE,
+    ):
+        super().__init__(child, probe)
+        self.positions = list(positions)
+
+    def open(self) -> None:
+        super().open()
+        key = (
+            itemgetter(self.positions[0])
+            if len(self.positions) == 1
+            else itemgetter(*self.positions)
+        )
+        self.rows.sort(key=key)
+        _charge_sort(self.probe, len(self.rows))
+
+
+class OrderBy(Materialize):
+    """Blocking ORDER BY with per-key directions (stable passes)."""
+
+    def __init__(
+        self,
+        child: Iterator,
+        keys: Sequence[tuple[int, bool]],
+        probe: NullProbe = NULL_PROBE,
+    ):
+        super().__init__(child, probe)
+        self.keys = list(keys)
+
+    def open(self) -> None:
+        super().open()
+        for position, ascending in reversed(self.keys):
+            self.rows.sort(key=itemgetter(position), reverse=not ascending)
+        _charge_sort(self.probe, len(self.rows))
+
+
+class LimitOperator(Iterator):
+    def __init__(
+        self, child: Iterator, count: int, probe: NullProbe = NULL_PROBE
+    ):
+        super().__init__(probe)
+        self.child = child
+        self.count = count
+        self._produced = 0
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        self._produced = 0
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+    def next(self) -> tuple | None:
+        if self._produced >= self.count:
+            return None
+        row = self.child_next(self.child)
+        if row is None:
+            return None
+        self._produced += 1
+        return row
+
+
+class Buffer(Iterator):
+    """The buffering operator of Zhou & Ross [25], used by the System X
+    analogue: it drains its child in blocks, amortising the per-tuple
+    iterator call overhead across ``block_size`` tuples."""
+
+    def __init__(
+        self,
+        child: Iterator,
+        block_size: int = 128,
+        probe: NullProbe = NULL_PROBE,
+    ):
+        super().__init__(probe)
+        self.child = child
+        self.block_size = block_size
+        self._block: list[tuple] = []
+        self._cursor = 0
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+        self._block = []
+        self._cursor = 0
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+    def serves_buffered(self) -> bool:
+        return self._cursor < len(self._block)
+
+    def next(self) -> tuple | None:
+        if self._cursor >= len(self._block):
+            self._block = []
+            self._cursor = 0
+            append = self._block.append
+            # One call round trip per block rather than per tuple.
+            if self.probe.enabled:
+                self.probe.call(2)
+                self.probe.instr(costs.ITERATOR_STATE_INSTRUCTIONS)
+            for _ in range(self.block_size):
+                row = self.child.next()
+                if row is None:
+                    break
+                append(row)
+            if not self._block:
+                return None
+        row = self._block[self._cursor]
+        self._cursor += 1
+        return row
+
+
+def _charge_sort(probe: NullProbe, n: int) -> None:
+    if probe.enabled and n > 1:
+        import math
+
+        probe.instr(int(n * math.log2(n)) * costs.SORT_STEP_INSTRUCTIONS)
+
+
+class Identity(Iterator):
+    """A pass-through operator adding one call layer per tuple.
+
+    Used to emulate compiling without optimizations (Table II's ``-O0``
+    column): un-inlined code pays an extra call/return round trip at
+    every operator boundary, which is exactly what this models.
+    """
+
+    def __init__(self, child: Iterator, probe: NullProbe = NULL_PROBE):
+        super().__init__(probe)
+        self.child = child
+
+    def open(self) -> None:
+        super().open()
+        self.child.open()
+
+    def close(self) -> None:
+        self.child.close()
+        super().close()
+
+    def next(self) -> tuple | None:
+        return self.child_next(self.child)
+
+
+class FunctionScan(Iterator):
+    """Adapts a materialised list of rows into an iterator (tests)."""
+
+    def __init__(self, rows: list[tuple], probe: NullProbe = NULL_PROBE):
+        super().__init__(probe)
+        self.rows = rows
+        self._cursor = 0
+
+    def open(self) -> None:
+        super().open()
+        self._cursor = 0
+
+    def next(self) -> tuple | None:
+        if self._cursor >= len(self.rows):
+            return None
+        row = self.rows[self._cursor]
+        self._cursor += 1
+        self.touch_state()
+        return row
+
+
+def make_generic_projector(
+    positions: Sequence[int], probe: NullProbe = NULL_PROBE
+) -> tuple[Callable[[tuple], tuple], int]:
+    """Per-field accessor-based projector (generic mode).
+
+    Returns the projector and the number of accessor calls it performs
+    per tuple, for probe accounting.
+    """
+    accessors: list[Callable[[tuple], Any]] = [
+        (lambda row, _p=p: row[_p]) for p in positions
+    ]
+
+    def project(row: tuple) -> tuple:
+        return tuple(access(row) for access in accessors)
+
+    return project, len(accessors)

@@ -1,0 +1,35 @@
+"""Memory-hierarchy simulator: the stand-in for hardware perf counters.
+
+See DESIGN.md §2 — this package substitutes for OProfile + the physical
+Core 2 Duo memory system in the paper's profiling experiments.
+"""
+
+from repro.memsim import costs
+from repro.memsim.cache import Cache, CacheConfig, CacheStats
+from repro.memsim.hierarchy import HierarchyStats, MemoryHierarchy
+from repro.memsim.prefetch import SequentialPrefetcher, StridePrefetcher
+from repro.memsim.probe import (
+    NULL_PROBE,
+    AddressSpace,
+    NullProbe,
+    Probe,
+    ProfileReport,
+    snapshot,
+)
+
+__all__ = [
+    "AddressSpace",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "HierarchyStats",
+    "MemoryHierarchy",
+    "NULL_PROBE",
+    "NullProbe",
+    "Probe",
+    "ProfileReport",
+    "SequentialPrefetcher",
+    "StridePrefetcher",
+    "costs",
+    "snapshot",
+]

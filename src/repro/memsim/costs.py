@@ -1,0 +1,86 @@
+"""Cost model constants for the simulated Intel Core 2 Duo 6300.
+
+All latencies come straight from Table I of the paper; the instruction
+cost constants are the model parameters that translate *logical* engine
+events (a function call, a predicate evaluation, an iterator state
+update) into retired-instruction estimates.  They are chosen to be in
+the range architecture texts give for x86-64 (a call/return pair with
+register save/restore costs tens of instructions) and, importantly, they
+are *shared by every engine*, so the relative shapes the experiments
+report are driven by event counts, not by tuning per engine.
+"""
+
+from __future__ import annotations
+
+# -- clock ------------------------------------------------------------------
+
+#: Processor frequency in Hz (1.86 GHz Core 2 Duo 6300).
+CPU_FREQUENCY_HZ = 1_860_000_000
+
+#: Best-case cycles per instruction (4-wide superscalar).
+IDEAL_CPI = 0.25
+
+# -- memory hierarchy (Table I) ----------------------------------------------
+
+#: Cache line size in bytes.
+CACHE_LINE = 64
+
+#: D1 cache: 32 KB, 8-way (Core 2), per core.
+D1_SIZE = 32 * 1024
+D1_ASSOC = 8
+
+#: L2 cache: 2 MB, 8-way, shared.
+L2_SIZE = 2 * 1024 * 1024
+L2_ASSOC = 8
+
+#: D1 hit cost in cycles (uniform for sequential and random access).
+D1_HIT_CYCLES = 3
+
+#: D1 miss served by L2: sequential (prefetched) vs random latencies.
+L1_MISS_SEQ_CYCLES = 9
+L1_MISS_RAND_CYCLES = 14
+
+#: L2 miss served by memory: sequential (prefetched) vs random latencies.
+L2_MISS_SEQ_CYCLES = 28
+L2_MISS_RAND_CYCLES = 77
+
+# -- logical event costs (retired-instruction estimates) ----------------------
+
+#: A function call/return pair: stack frame setup, register save/restore.
+#: "With tens of registers in current CPUs, frequent function calls may
+#: lead to significant overhead" (Section II-B).
+CALL_INSTRUCTIONS = 18
+
+#: Extra pipeline resource-stall cycles charged per function call: the
+#: jump forces a new instruction stream into the pipeline and limits
+#: superscalar execution (Section II-B).
+CALL_RESOURCE_STALL_CYCLES = 7.0
+
+#: Resource-stall cycles charged per 100 retired instructions to model
+#: data/control dependency chains even in straight-line code.
+BASE_RESOURCE_STALL_PER_100_INSTR = 1.5
+
+#: One loop iteration's bookkeeping (increment, compare, branch).
+LOOP_ITER_INSTRUCTIONS = 3
+
+#: Evaluating one primitive-type predicate inline (load, compare, branch).
+PREDICATE_INSTRUCTIONS = 3
+
+#: Decoding/copying one fixed-length field by direct offset.
+FIELD_ACCESS_INSTRUCTIONS = 2
+
+#: Touching and updating iterator state on a ``next()`` boundary
+#: (current page/slot bookkeeping kept in the operator object).
+ITERATOR_STATE_INSTRUCTIONS = 8
+
+#: Computing a hash/modulo partition target for one tuple.
+HASH_INSTRUCTIONS = 6
+
+#: One comparison-and-swap step inside sorting.
+SORT_STEP_INSTRUCTIONS = 6
+
+#: Updating one aggregate value (load, arithmetic op, store).
+AGGREGATE_UPDATE_INSTRUCTIONS = 3
+
+#: Copying one tuple into an output/staging buffer, per 8-byte word.
+COPY_WORD_INSTRUCTIONS = 1

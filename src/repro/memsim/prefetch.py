@@ -1,0 +1,105 @@
+"""Hardware prefetcher models.
+
+Section II-A of the paper describes two classes of prefetch units in the
+Core microarchitecture: simple next-line (sequential) detectors and
+advanced units that (a) keep an access history for the most frequently
+touched regions and (b) track the stride between successive fetches.
+This module models both:
+
+* :class:`SequentialPrefetcher` — predicts ``line + 1`` after two
+  consecutive line accesses in the same region.
+* :class:`StridePrefetcher` — a small table of reference streams keyed
+  by memory region; once a stream repeats a stride with enough
+  confidence, the next ``degree`` strided lines are predicted.
+
+Predictions are returned to the hierarchy, which installs them into the
+cache tagged as prefetched; a subsequent demand miss on a predicted line
+is charged the sequential (cheap) latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Lines covered by one region entry (4 KB region / 64 B line).
+_REGION_LINES = 64
+
+
+@dataclass
+class _Stream:
+    last_line: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """Stride-detecting prefetcher with a bounded stream table."""
+
+    def __init__(
+        self,
+        table_size: int = 16,
+        degree: int = 2,
+        max_stride: int = 8,
+        min_confidence: int = 1,
+    ):
+        self.table_size = table_size
+        self.degree = degree
+        self.max_stride = max_stride
+        self.min_confidence = min_confidence
+        self._streams: dict[int, _Stream] = {}
+
+    def observe(self, line_addr: int) -> list[int]:
+        """Feed one demand line access; returns predicted line addresses."""
+        region = line_addr // _REGION_LINES
+        stream = self._streams.get(region)
+        if stream is None:
+            self._evict_if_full()
+            self._streams[region] = _Stream(last_line=line_addr)
+            return []
+        stride = line_addr - stream.last_line
+        predictions: list[int] = []
+        if stride == 0:
+            return predictions
+        if stride == stream.stride:
+            stream.confidence += 1
+        else:
+            # A freshly detected stride starts with confidence one: the
+            # simple next-line units fire on the first sequential pair.
+            stream.stride = stride
+            stream.confidence = 1
+        if (
+            stream.confidence >= self.min_confidence
+            and abs(stream.stride) <= self.max_stride
+        ):
+            predictions = [
+                line_addr + stride * (i + 1) for i in range(self.degree)
+            ]
+        stream.last_line = line_addr
+        # Keep the stream most recently used.
+        self._streams.pop(region)
+        self._streams[region] = stream
+        return [p for p in predictions if p >= 0]
+
+    def _evict_if_full(self) -> None:
+        while len(self._streams) >= self.table_size:
+            oldest = next(iter(self._streams))
+            self._streams.pop(oldest)
+
+    def reset(self) -> None:
+        self._streams.clear()
+
+
+class SequentialPrefetcher(StridePrefetcher):
+    """Next-line prefetcher: a stride prefetcher fixed to stride one."""
+
+    def __init__(self, table_size: int = 8, degree: int = 1):
+        super().__init__(
+            table_size=table_size,
+            degree=degree,
+            max_stride=1,
+            min_confidence=1,
+        )
+
+    def observe(self, line_addr: int) -> list[int]:
+        predictions = super().observe(line_addr)
+        return [p for p in predictions if p == line_addr + 1 or p == line_addr + 2]

@@ -1,0 +1,273 @@
+"""Physical operator descriptors — the paper's topologically sorted list O.
+
+The optimizer emits a :class:`PhysicalPlan`: an ordered list of operator
+descriptors in which every operator consumes either base tables or the
+output of an earlier operator (Section IV: "Each o_i has as input either
+primary table(s), or the output of o_j, j < i").  The descriptor
+"contains the algorithm to be used in the implementation of each
+operator and additional information for initializing the code template
+of this algorithm".
+
+Descriptors are backend-neutral: the HIQUE code generator instantiates
+templates from them, and the iterator engine builds a Volcano tree from
+the very same plan, which is what makes the paper's iterators-vs-holistic
+comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import PlanError
+from repro.plan.layout import ColumnLayout
+from repro.sql.bound import BoundComparison, BoundOutput
+from repro.storage.table import Table
+
+# -- staging preparation -----------------------------------------------------------
+
+#: Preparation kinds applied while staging an input (Section V-B:
+#: "sorting, partitioning, and a hybrid approach").
+PREP_NONE = "none"
+PREP_SORT = "sort"
+PREP_PARTITION = "partition"
+PREP_PARTITION_SORT = "partition_sort"  # hybrid hash-sort staging
+
+
+@dataclass(frozen=True)
+class Prep:
+    """How an input is pre-processed during staging."""
+
+    kind: str = PREP_NONE
+    keys: tuple[int, ...] = ()
+    num_partitions: int = 1
+    fine: bool = False  # fine-grained (value-directory) partitioning
+
+    def __post_init__(self) -> None:
+        valid = (PREP_NONE, PREP_SORT, PREP_PARTITION, PREP_PARTITION_SORT)
+        if self.kind not in valid:
+            raise PlanError(f"unknown prep kind {self.kind!r}")
+        if self.kind != PREP_NONE and not self.keys:
+            raise PlanError(f"prep {self.kind!r} requires keys")
+
+
+# -- aggregate specification ----------------------------------------------------------
+
+#: Aggregation algorithms (Section V-B).
+AGG_SORT = "sort"
+AGG_HYBRID = "hybrid"  # hybrid hash-sort
+AGG_MAP = "map"  # value-directory map aggregation
+
+#: Join algorithms (Section V-B).  All share the nested-loops template.
+JOIN_MERGE = "merge"
+JOIN_HASH = "hash"  # partition join (Grace-style), fine or coarse
+JOIN_HYBRID = "hybrid"  # hybrid hash-sort-merge join
+JOIN_NESTED = "nested"  # plain blocked nested loops (no staging order)
+
+
+# -- operators ------------------------------------------------------------------------
+
+
+@dataclass
+class Operator:
+    """Base descriptor: every operator owns an id and an output layout."""
+
+    op_id: int
+    output_layout: ColumnLayout
+    #: Slot positions the output is sorted on, if any (interesting order).
+    output_order: tuple[int, ...] = field(default=(), kw_only=True)
+
+    @property
+    def inputs(self) -> tuple[int, ...]:
+        """Ids of the operators this one consumes (empty for scans)."""
+        return ()
+
+
+@dataclass
+class ScanStage(Operator):
+    """Stage one base table: scan, filter, project, optionally sort or
+    partition — the paper's *data staging* step (one function per input).
+    """
+
+    binding: str = ""
+    table: Table | None = None
+    filters: tuple[BoundComparison, ...] = ()
+    prep: Prep = field(default_factory=Prep)
+
+    def __post_init__(self) -> None:
+        if self.table is None:
+            raise PlanError("ScanStage requires a table")
+
+
+@dataclass
+class Restage(Operator):
+    """Re-prepare an intermediate result for its next consumer."""
+
+    input_op: int = -1
+    prep: Prep = field(default_factory=Prep)
+
+    @property
+    def inputs(self) -> tuple[int, ...]:
+        return (self.input_op,)
+
+
+@dataclass
+class Join(Operator):
+    """Binary join instantiating the nested-loops template."""
+
+    algorithm: str = JOIN_MERGE
+    left_op: int = -1
+    right_op: int = -1
+    left_key: int = 0  # slot position of the key in the left input
+    right_key: int = 0
+    #: Further equi-join conjuncts between the same inputs, evaluated
+    #: over the join's output layout.
+    residuals: tuple[BoundComparison, ...] = ()
+
+    @property
+    def inputs(self) -> tuple[int, ...]:
+        return (self.left_op, self.right_op)
+
+
+@dataclass
+class MultiwayJoin(Operator):
+    """A join team: n inputs joined on one key equivalence class in a
+    single deeply-nested loop block without intermediate materialisation.
+    """
+
+    algorithm: str = JOIN_MERGE  # merge | hybrid
+    input_ops: tuple[int, ...] = ()
+    key_positions: tuple[int, ...] = ()  # one per input
+
+    @property
+    def inputs(self) -> tuple[int, ...]:
+        return self.input_ops
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate output: function + argument expression."""
+
+    func: str  # sum | count | avg | min | max  (count with argument=None)
+    argument: object | None  # BoundExpr over the input layout
+
+
+@dataclass
+class Aggregate(Operator):
+    """Grouped aggregation; output columns follow the select list."""
+
+    input_op: int = -1
+    algorithm: str = AGG_SORT
+    group_positions: tuple[int, ...] = ()
+    outputs: tuple[BoundOutput, ...] = ()
+    #: For map aggregation: estimated distinct count per group position,
+    #: used to size the value directories and aggregate arrays.
+    directory_sizes: tuple[int, ...] = ()
+
+    @property
+    def inputs(self) -> tuple[int, ...]:
+        return (self.input_op,)
+
+
+@dataclass
+class Project(Operator):
+    """Final expression evaluation for non-grouped queries."""
+
+    input_op: int = -1
+    outputs: tuple[BoundOutput, ...] = ()
+
+    @property
+    def inputs(self) -> tuple[int, ...]:
+        return (self.input_op,)
+
+
+@dataclass
+class Sort(Operator):
+    """Final ORDER BY over output rows (positions refer to the output)."""
+
+    input_op: int = -1
+    keys: tuple[tuple[int, bool], ...] = ()
+
+    @property
+    def inputs(self) -> tuple[int, ...]:
+        return (self.input_op,)
+
+
+@dataclass
+class Limit(Operator):
+    """Keep the first n output rows."""
+
+    input_op: int = -1
+    count: int = 0
+
+    @property
+    def inputs(self) -> tuple[int, ...]:
+        return (self.input_op,)
+
+
+@dataclass
+class PhysicalPlan:
+    """The ordered descriptor list plus result metadata."""
+
+    operators: list[Operator] = field(default_factory=list)
+    output_names: list[str] = field(default_factory=list)
+
+    @property
+    def root(self) -> Operator:
+        if not self.operators:
+            raise PlanError("empty plan")
+        return self.operators[-1]
+
+    def op(self, op_id: int) -> Operator:
+        for operator in self.operators:
+            if operator.op_id == op_id:
+                return operator
+        raise PlanError(f"no operator with id {op_id}")
+
+    def __iter__(self) -> Iterator[Operator]:
+        return iter(self.operators)
+
+    def validate(self) -> None:
+        """Check topological order: inputs precede consumers."""
+        seen: set[int] = set()
+        for operator in self.operators:
+            for input_id in operator.inputs:
+                if input_id not in seen:
+                    raise PlanError(
+                        f"operator {operator.op_id} consumes {input_id} "
+                        f"before it is produced"
+                    )
+            if operator.op_id in seen:
+                raise PlanError(f"duplicate operator id {operator.op_id}")
+            seen.add(operator.op_id)
+
+    def explain(self) -> str:
+        """Human-readable plan description (for tests and examples)."""
+        lines = []
+        for operator in self.operators:
+            kind = type(operator).__name__
+            detail = ""
+            if isinstance(operator, ScanStage):
+                detail = (
+                    f" {operator.binding} prep={operator.prep.kind}"
+                    f" filters={len(operator.filters)}"
+                )
+            elif isinstance(operator, Join):
+                detail = (
+                    f" {operator.algorithm} ({operator.left_op} ⋈ "
+                    f"{operator.right_op})"
+                )
+            elif isinstance(operator, MultiwayJoin):
+                detail = f" {operator.algorithm} team{operator.input_ops}"
+            elif isinstance(operator, Aggregate):
+                detail = (
+                    f" {operator.algorithm} groups={operator.group_positions}"
+                )
+            elif isinstance(operator, Sort):
+                detail = f" keys={operator.keys}"
+            elif isinstance(operator, Restage):
+                detail = f" prep={operator.prep.kind} of {operator.input_op}"
+            elif isinstance(operator, Limit):
+                detail = f" {operator.count}"
+            lines.append(f"o{operator.op_id}: {kind}{detail}")
+        return "\n".join(lines)

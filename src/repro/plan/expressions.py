@@ -1,0 +1,196 @@
+"""Expression compilation: bound expressions → closures or source text.
+
+Two backends share the same traversal:
+
+* :func:`make_evaluator` / :func:`make_predicate` build Python closures.
+  The iterator engines use these — they are the Python analogue of the
+  paper's *generic* evaluation functions (a call per expression per
+  tuple).
+* :func:`expr_source` / :func:`predicate_source` emit Python source
+  fragments over a row variable (``row[3] * (1 - row[5])``).  The HIQUE
+  code generator splices these into its templates, which is exactly the
+  paper's "revert separate function calls for data accessing and
+  predicate evaluation to pointer casts and primitive data comparisons".
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Sequence
+
+from repro.errors import CodegenError, PlanError
+from repro.plan.layout import ColumnLayout
+from repro.sql.bound import (
+    BoundAggregate,
+    BoundArithmetic,
+    BoundColumn,
+    BoundComparison,
+    BoundExpr,
+    BoundLiteral,
+)
+
+_ARITH_FUNCS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+_COMPARE_FUNCS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
+
+#: SQL comparison spelling → Python operator source.
+COMPARE_SOURCE = {
+    "=": "==",
+    "<>": "!=",
+    "<": "<",
+    ">": ">",
+    "<=": "<=",
+    ">=": ">=",
+}
+
+
+# -- closure backend ------------------------------------------------------------
+
+
+def make_evaluator(
+    expr: BoundExpr, layout: ColumnLayout
+) -> Callable[[Sequence[Any]], Any]:
+    """A ``row -> value`` closure for a scalar (non-aggregate) expression."""
+    if isinstance(expr, BoundLiteral):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, BoundColumn):
+        position = layout.position(expr)
+        return lambda row: row[position]
+    if isinstance(expr, BoundArithmetic):
+        left = make_evaluator(expr.left, layout)
+        right = make_evaluator(expr.right, layout)
+        func = _ARITH_FUNCS[expr.op]
+        return lambda row: func(left(row), right(row))
+    if isinstance(expr, BoundAggregate):
+        raise PlanError("aggregates cannot be evaluated per row")
+    raise PlanError(f"cannot evaluate {expr!r}")
+
+
+def make_predicate(
+    comparison: BoundComparison, layout: ColumnLayout
+) -> Callable[[Sequence[Any]], bool]:
+    """A ``row -> bool`` closure for one comparison."""
+    left = make_evaluator(comparison.left, layout)
+    right = make_evaluator(comparison.right, layout)
+    func = _COMPARE_FUNCS[comparison.op]
+    return lambda row: func(left(row), right(row))
+
+
+def make_conjunction(
+    comparisons: Sequence[BoundComparison], layout: ColumnLayout
+) -> Callable[[Sequence[Any]], bool]:
+    """A ``row -> bool`` closure AND-ing all comparisons (empty → True)."""
+    if not comparisons:
+        return lambda row: True
+    predicates = [make_predicate(c, layout) for c in comparisons]
+    if len(predicates) == 1:
+        return predicates[0]
+
+    def conjunction(row: Sequence[Any]) -> bool:
+        for predicate in predicates:
+            if not predicate(row):
+                return False
+        return True
+
+    return conjunction
+
+
+# -- source backend ---------------------------------------------------------------
+
+
+def literal_source(value: Any) -> str:
+    """Python source for a constant (strings repr'd, numbers verbatim)."""
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def expr_source(expr: BoundExpr, layout: ColumnLayout, row_var: str) -> str:
+    """Python source for a scalar expression over ``row_var``."""
+    if isinstance(expr, BoundLiteral):
+        return literal_source(expr.value)
+    if isinstance(expr, BoundColumn):
+        return f"{row_var}[{layout.position(expr)}]"
+    if isinstance(expr, BoundArithmetic):
+        left = expr_source(expr.left, layout, row_var)
+        right = expr_source(expr.right, layout, row_var)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, BoundAggregate):
+        raise CodegenError("aggregate reached scalar source emission")
+    raise CodegenError(f"cannot emit source for {expr!r}")
+
+
+def predicate_source(
+    comparison: BoundComparison, layout: ColumnLayout, row_var: str
+) -> str:
+    """Python source for one comparison over ``row_var``."""
+    left = expr_source(comparison.left, layout, row_var)
+    right = expr_source(comparison.right, layout, row_var)
+    return f"{left} {COMPARE_SOURCE[comparison.op]} {right}"
+
+
+def conjunction_source(
+    comparisons: Sequence[BoundComparison],
+    layout: ColumnLayout,
+    row_var: str,
+) -> str:
+    """Source for the AND of all comparisons (empty list → ``True``)."""
+    if not comparisons:
+        return "True"
+    return " and ".join(
+        predicate_source(c, layout, row_var) for c in comparisons
+    )
+
+
+# -- resolver-based source backend --------------------------------------------------
+#
+# Scan staging binds columns to *local field variables* (the value was
+# just unpacked from the page buffer), not to row indexing.  These
+# variants take a resolver callback instead of a layout.
+
+
+def expr_source_resolved(
+    expr: BoundExpr, resolve: Callable[[BoundColumn], str]
+) -> str:
+    """Source for an expression with caller-controlled column spelling."""
+    if isinstance(expr, BoundLiteral):
+        return literal_source(expr.value)
+    if isinstance(expr, BoundColumn):
+        return resolve(expr)
+    if isinstance(expr, BoundArithmetic):
+        left = expr_source_resolved(expr.left, resolve)
+        right = expr_source_resolved(expr.right, resolve)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, BoundAggregate):
+        raise CodegenError("aggregate reached scalar source emission")
+    raise CodegenError(f"cannot emit source for {expr!r}")
+
+
+def conjunction_source_resolved(
+    comparisons: Sequence[BoundComparison],
+    resolve: Callable[[BoundColumn], str],
+) -> str:
+    """Resolver-based variant of :func:`conjunction_source`."""
+    if not comparisons:
+        return "True"
+    parts = []
+    for comparison in comparisons:
+        left = expr_source_resolved(comparison.left, resolve)
+        right = expr_source_resolved(comparison.right, resolve)
+        parts.append(f"{left} {COMPARE_SOURCE[comparison.op]} {right}")
+    return " and ".join(parts)

@@ -1,0 +1,94 @@
+"""Column layouts: mapping bound column references to physical slots.
+
+Every operator in a physical plan produces rows with a fixed column
+order.  A :class:`ColumnLayout` records that order as a list of
+*(binding, column, dtype)* slots so that expression compilation — for
+iterator closures and for generated source alike — can turn a
+:class:`~repro.sql.bound.BoundColumn` into a plain ``row[i]`` access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import PlanError
+from repro.sql.bound import BoundColumn
+from repro.storage.types import DataType
+
+
+@dataclass(frozen=True)
+class ColumnSlot:
+    """One physical output column of an operator."""
+
+    binding: str
+    column: str
+    dtype: DataType
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.binding, self.column)
+
+    def display(self) -> str:
+        return f"{self.binding}.{self.column}"
+
+
+class ColumnLayout:
+    """An ordered set of slots with fast position lookup."""
+
+    def __init__(self, slots: Iterable[ColumnSlot]):
+        self.slots: tuple[ColumnSlot, ...] = tuple(slots)
+        self._index: dict[tuple[str, str], int] = {}
+        for i, slot in enumerate(self.slots):
+            if slot.key in self._index:
+                raise PlanError(f"duplicate slot {slot.display()}")
+            self._index[slot.key] = i
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __iter__(self) -> Iterator[ColumnSlot]:
+        return iter(self.slots)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ColumnLayout) and self.slots == other.slots
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"ColumnLayout({', '.join(s.display() for s in self.slots)})"
+
+    def position(self, column: BoundColumn) -> int:
+        """Slot index of a bound column; raises PlanError when absent."""
+        try:
+            return self._index[(column.binding, column.column)]
+        except KeyError:
+            raise PlanError(
+                f"column {column.display()} not in layout "
+                f"{[s.display() for s in self.slots]}"
+            ) from None
+
+    def contains(self, column: BoundColumn) -> bool:
+        return (column.binding, column.column) in self._index
+
+    def position_of_key(self, binding: str, column: str) -> int:
+        try:
+            return self._index[(binding, column)]
+        except KeyError:
+            raise PlanError(f"column {binding}.{column} not in layout") from None
+
+    def concat(self, other: "ColumnLayout") -> "ColumnLayout":
+        return ColumnLayout(self.slots + other.slots)
+
+    def select(self, keys: Iterable[tuple[str, str]]) -> "ColumnLayout":
+        return ColumnLayout(
+            self.slots[self._index[key]] for key in keys
+        )
+
+
+def layout_of_columns(columns: Iterable[BoundColumn]) -> ColumnLayout:
+    """Layout with one slot per bound column, de-duplicated, in order."""
+    seen: dict[tuple[str, str], ColumnSlot] = {}
+    for column in columns:
+        key = (column.binding, column.column)
+        if key not in seen:
+            seen[key] = ColumnSlot(column.binding, column.column, column.dtype)
+    return ColumnLayout(seen.values())

@@ -1,0 +1,229 @@
+"""A deliberately naive reference evaluator for differential testing.
+
+Evaluates a :class:`~repro.sql.bound.BoundQuery` by brute force —
+cartesian product, per-row predicate checks, dictionary grouping — with
+no staging, no algorithm selection and no code generation.  Slow and
+obviously correct: every engine in the repository is tested against it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PlanError
+from repro.plan.expressions import make_conjunction, make_evaluator
+from repro.plan.layout import ColumnLayout, ColumnSlot
+from repro.sql.bound import (
+    BoundAggregate,
+    BoundArithmetic,
+    BoundExpr,
+    BoundQuery,
+)
+
+
+def evaluate(query: BoundQuery) -> list[tuple]:
+    """Evaluate the bound query, returning output rows in final order."""
+    layout, rows = _joined_rows(query)
+    if query.is_grouped:
+        out_rows = _aggregate(query, layout, rows)
+    else:
+        evaluators = [
+            make_evaluator(output.expr, layout) for output in query.select
+        ]
+        out_rows = [
+            tuple(evaluate_one(row) for evaluate_one in evaluators)
+            for row in rows
+        ]
+    out_rows = _order_and_limit(query, out_rows)
+    return out_rows
+
+
+def _joined_rows(query: BoundQuery) -> tuple[ColumnLayout, list[tuple]]:
+    """Filter each table, then fold tables in with dictionary equi-joins.
+
+    Still brute force in spirit (no staging, no algorithm choice), but a
+    blind cartesian product would make multi-table workloads such as
+    TPC-H untestable; a dict of key → rows keeps the reference usable
+    without becoming a query optimizer.
+    """
+    layouts: dict[str, ColumnLayout] = {}
+    filtered: dict[str, list[tuple]] = {}
+    for bound in query.tables:
+        table_layout = ColumnLayout(
+            ColumnSlot(bound.binding, c.name, c.dtype)
+            for c in bound.table.schema
+        )
+        layouts[bound.binding] = table_layout
+        predicate = make_conjunction(
+            query.filters.get(bound.binding, ()), table_layout
+        )
+        filtered[bound.binding] = [
+            row for row in bound.table.scan_rows() if predicate(row)
+        ]
+
+    first = query.tables[0].binding
+    joined_bindings = [first]
+    layout = layouts[first]
+    rows = filtered[first]
+    remaining = [t.binding for t in query.tables[1:]]
+    pending_joins = list(query.joins)
+
+    while remaining:
+        predicate, binding = _next_joinable(pending_joins, joined_bindings, remaining)
+        if predicate is None:
+            binding = remaining[0]
+        next_layout = layout.concat(layouts[binding])
+        if predicate is None:
+            rows = [
+                prefix + row
+                for prefix in rows
+                for row in filtered[binding]
+            ]
+        else:
+            own = predicate.column_for(binding)
+            other = (
+                predicate.right
+                if predicate.left.binding == binding
+                else predicate.left
+            )
+            own_pos = layouts[binding].position(own)
+            other_pos = layout.position(other)
+            index: dict = {}
+            for row in filtered[binding]:
+                index.setdefault(row[own_pos], []).append(row)
+            rows = [
+                prefix + row
+                for prefix in rows
+                for row in index.get(prefix[other_pos], ())
+            ]
+            pending_joins.remove(predicate)
+        layout = next_layout
+        joined_bindings.append(binding)
+        remaining.remove(binding)
+
+    if pending_joins:
+        residual = make_conjunction(
+            [_as_comparison(p) for p in pending_joins], layout
+        )
+        rows = [row for row in rows if residual(row)]
+    return layout, rows
+
+
+def _next_joinable(pending, joined_bindings, remaining):
+    """First pending predicate connecting a joined table to a new one."""
+    joined = set(joined_bindings)
+    for predicate in pending:
+        left_b, right_b = predicate.bindings()
+        if left_b in joined and right_b in remaining:
+            return predicate, right_b
+        if right_b in joined and left_b in remaining:
+            return predicate, left_b
+    return None, None
+
+
+def _as_comparison(predicate):
+    from repro.sql.bound import BoundComparison
+
+    return BoundComparison("=", predicate.left, predicate.right)
+
+
+class _AggState:
+    """Accumulator for one aggregate in one group."""
+
+    __slots__ = ("func", "count", "total", "minimum", "maximum")
+
+    def __init__(self, func: str):
+        self.func = func
+        self.count = 0
+        self.total: Any = 0
+        self.minimum: Any = None
+        self.maximum: Any = None
+
+    def update(self, value: Any) -> None:
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total += value
+        elif self.func == "min":
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        elif self.func == "max":
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    def result(self) -> Any:
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return self.total / self.count if self.count else None
+        if self.func == "min":
+            return self.minimum
+        if self.func == "max":
+            return self.maximum
+        raise PlanError(f"unknown aggregate {self.func!r}")
+
+
+def _find_aggregate(expr: BoundExpr) -> BoundAggregate:
+    if isinstance(expr, BoundAggregate):
+        return expr
+    if isinstance(expr, BoundArithmetic):
+        for side in (expr.left, expr.right):
+            try:
+                return _find_aggregate(side)
+            except PlanError:
+                continue
+    raise PlanError("no aggregate in expression")
+
+
+def _aggregate(
+    query: BoundQuery, layout: ColumnLayout, rows: list[tuple]
+) -> list[tuple]:
+    group_evaluators = [
+        make_evaluator(column, layout) for column in query.group_by
+    ]
+    agg_outputs = [o for o in query.select if o.kind == "aggregate"]
+    agg_exprs = [_find_aggregate(o.expr) for o in agg_outputs]
+    arg_evaluators = [
+        make_evaluator(a.argument, layout) if a.argument is not None else None
+        for a in agg_exprs
+    ]
+
+    groups: dict[tuple, list[_AggState]] = {}
+    for row in rows:
+        key = tuple(evaluate_one(row) for evaluate_one in group_evaluators)
+        states = groups.get(key)
+        if states is None:
+            states = [_AggState(a.func) for a in agg_exprs]
+            groups[key] = states
+        for state, arg in zip(states, arg_evaluators):
+            state.update(arg(row) if arg is not None else 1)
+
+    if not groups and not query.group_by:
+        groups[()] = [_AggState(a.func) for a in agg_exprs]
+
+    group_layout = ColumnLayout(
+        ColumnSlot(c.binding, c.column, c.dtype) for c in query.group_by
+    ) if query.group_by else None
+
+    out: list[tuple] = []
+    for key, states in groups.items():
+        agg_values = iter(states)
+        row_out: list[Any] = []
+        for output in query.select:
+            if output.kind == "aggregate":
+                row_out.append(next(agg_values).result())
+            else:
+                evaluator = make_evaluator(output.expr, group_layout)
+                row_out.append(evaluator(key))
+        out.append(tuple(row_out))
+    return out
+
+
+def _order_and_limit(query: BoundQuery, rows: list[tuple]) -> list[tuple]:
+    if query.order_by:
+        for position, ascending in reversed(query.order_by):
+            rows.sort(key=lambda row: row[position], reverse=not ascending)
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows

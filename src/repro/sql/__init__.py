@@ -1,0 +1,58 @@
+"""SQL front end: lexer, parser, binder (the paper's Section IV parser)."""
+
+from repro.sql.ast import (
+    Aggregate,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    TableRef,
+)
+from repro.sql.binder import Binder
+from repro.sql.bound import (
+    BoundAggregate,
+    BoundArithmetic,
+    BoundColumn,
+    BoundComparison,
+    BoundExpr,
+    BoundLiteral,
+    BoundOutput,
+    BoundQuery,
+    BoundTable,
+    JoinPredicate,
+    bindings_in,
+    columns_in,
+)
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+
+__all__ = [
+    "Aggregate",
+    "Arithmetic",
+    "Binder",
+    "BoundAggregate",
+    "BoundArithmetic",
+    "BoundColumn",
+    "BoundComparison",
+    "BoundExpr",
+    "BoundLiteral",
+    "BoundOutput",
+    "BoundQuery",
+    "BoundTable",
+    "ColumnRef",
+    "Comparison",
+    "JoinPredicate",
+    "Literal",
+    "OrderItem",
+    "Query",
+    "SelectItem",
+    "TableRef",
+    "Token",
+    "bindings_in",
+    "columns_in",
+    "parse",
+    "tokenize",
+]

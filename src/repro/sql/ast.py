@@ -1,0 +1,150 @@
+"""Abstract syntax trees for the supported SQL subset.
+
+The grammar mirrors the paper (Section IV): conjunctive queries with
+equi-joins, arbitrary groupings and sort orders, and the usual aggregate
+functions; no nested queries and no statistical aggregates.  Arithmetic
+expressions are allowed in select items and predicates (TPC-H Q1 needs
+``sum(l_extendedprice * (1 - l_discount))``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# -- scalar expressions -------------------------------------------------------
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly table-qualified column reference."""
+
+    name: str
+    table: str | None = None
+
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: int, float, string or date (stored as day ordinal)."""
+
+    value: Any
+    type_hint: str = "auto"  # "auto" | "int" | "double" | "string" | "date"
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expr):
+    """Binary arithmetic: ``+ - * /``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+#: Aggregate function names the grammar accepts.
+AGGREGATE_FUNCTIONS = ("sum", "count", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """``func(expr)`` or ``COUNT(*)`` (argument None)."""
+
+    func: str
+    argument: Expr | None
+
+    @property
+    def is_count_star(self) -> bool:
+        return self.func == "count" and self.argument is None
+
+
+# -- predicates ---------------------------------------------------------------
+
+#: Comparison operators, SQL spelling → canonical form.
+COMPARISON_OPS = ("=", "<>", "<", ">", "<=", ">=")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` — one conjunct of the WHERE clause."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def is_equi_join(self) -> bool:
+        """Column = column between two different tables (syntactically)."""
+        return (
+            self.op == "="
+            and isinstance(self.left, ColumnRef)
+            and isinstance(self.right, ColumnRef)
+        )
+
+
+# -- query structure ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the select list, with an optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause table with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key; ``expr`` may name a select-list alias."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Query:
+    """A parsed (not yet bound) SELECT statement."""
+
+    select_items: list[SelectItem] = field(default_factory=list)
+    tables: list[TableRef] = field(default_factory=list)
+    where: list[Comparison] = field(default_factory=list)
+    group_by: list[ColumnRef] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(
+            _contains_aggregate(item.expr) for item in self.select_items
+        )
+
+
+def _contains_aggregate(expr: Expr) -> bool:
+    if isinstance(expr, Aggregate):
+        return True
+    if isinstance(expr, Arithmetic):
+        return _contains_aggregate(expr.left) or _contains_aggregate(
+            expr.right
+        )
+    return False
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """Public wrapper used by the binder."""
+    return _contains_aggregate(expr)

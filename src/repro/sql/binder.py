@@ -1,0 +1,345 @@
+"""Name resolution and type checking against the catalogue.
+
+The binder turns a parsed :class:`~repro.sql.ast.Query` into a
+:class:`~repro.sql.bound.BoundQuery`:
+
+* FROM entries are resolved to catalogue tables; aliases become binding
+  names;
+* WHERE conjuncts are classified into per-table *filters* and cross-table
+  *equi-join predicates* — any other cross-table predicate is outside
+  the supported subset (the paper's grammar supports conjunctive queries
+  with equi-joins);
+* select items are typed and classified (group key / aggregate / plain);
+* ORDER BY keys are resolved to output column positions (by alias or by
+  matching expression), since the engine sorts final results.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BindError, UnsupportedSqlError
+from repro.sql import ast
+from repro.sql.bound import (
+    BoundAggregate,
+    BoundArithmetic,
+    BoundColumn,
+    BoundComparison,
+    BoundExpr,
+    BoundLiteral,
+    BoundOutput,
+    BoundQuery,
+    BoundTable,
+    JoinPredicate,
+    bindings_in,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.types import DATE, DOUBLE, INT, DataType, char
+
+
+class Binder:
+    """Binds parsed queries against a catalogue."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- entry point -------------------------------------------------------------
+    def bind(self, query: ast.Query) -> BoundQuery:
+        bound = BoundQuery()
+        self._bind_tables(query, bound)
+        self._bind_where(query, bound)
+        self._bind_select(query, bound)
+        self._bind_order_by(query, bound)
+        bound.limit = query.limit
+        return bound
+
+    # -- FROM ----------------------------------------------------------------------
+    def _bind_tables(self, query: ast.Query, bound: BoundQuery) -> None:
+        if not query.tables:
+            raise BindError("query has no FROM clause")
+        seen: set[str] = set()
+        for ref in query.tables:
+            binding = ref.binding_name.lower()
+            if binding in seen:
+                raise BindError(f"duplicate table binding {binding!r}")
+            seen.add(binding)
+            table = self.catalog.table(ref.name)
+            bound.tables.append(BoundTable(binding, table))
+            bound.filters[binding] = []
+
+    # -- scalar expressions -----------------------------------------------------------
+    def bind_expr(
+        self, expr: ast.Expr, bound: BoundQuery, allow_aggregates: bool
+    ) -> BoundExpr:
+        if isinstance(expr, ast.ColumnRef):
+            return self._resolve_column(expr, bound)
+        if isinstance(expr, ast.Literal):
+            return _bind_literal(expr)
+        if isinstance(expr, ast.Arithmetic):
+            left = self.bind_expr(expr.left, bound, allow_aggregates)
+            right = self.bind_expr(expr.right, bound, allow_aggregates)
+            return _typed_arithmetic(expr.op, left, right)
+        if isinstance(expr, ast.Aggregate):
+            if not allow_aggregates:
+                raise BindError(
+                    f"aggregate {expr.func.upper()} not allowed here"
+                )
+            return self._bind_aggregate(expr, bound)
+        raise BindError(f"cannot bind expression {expr!r}")
+
+    def _bind_aggregate(
+        self, expr: ast.Aggregate, bound: BoundQuery
+    ) -> BoundAggregate:
+        if expr.argument is None:
+            return BoundAggregate("count", None, INT)
+        argument = self.bind_expr(expr.argument, bound, allow_aggregates=False)
+        if isinstance(argument, BoundAggregate):
+            raise UnsupportedSqlError("nested aggregates")
+        if expr.func == "count":
+            dtype: DataType = INT
+        elif expr.func == "avg":
+            dtype = DOUBLE
+        elif expr.func == "sum":
+            if not argument.dtype.is_numeric:
+                raise BindError("SUM requires a numeric argument")
+            dtype = argument.dtype if argument.dtype in (INT,) else DOUBLE
+        else:  # min/max keep their argument type
+            dtype = argument.dtype
+        return BoundAggregate(expr.func, argument, dtype)
+
+    def _resolve_column(
+        self, ref: ast.ColumnRef, bound: BoundQuery
+    ) -> BoundColumn:
+        if ref.name == "*":
+            raise UnsupportedSqlError("SELECT * with other items")
+        if ref.table is not None:
+            binding = ref.table.lower()
+            try:
+                entry = bound.binding(binding)
+            except KeyError:
+                raise BindError(f"unknown table binding {ref.table!r}") from None
+            schema = entry.table.schema
+            if not schema.has_column(ref.name):
+                raise BindError(
+                    f"table {ref.table!r} has no column {ref.name!r}"
+                )
+            column = schema[schema.index_of(ref.name)]
+            return BoundColumn(binding, column.name, column.dtype)
+        matches = []
+        for entry in bound.tables:
+            schema = entry.table.schema
+            if schema.has_column(ref.name):
+                column = schema[schema.index_of(ref.name)]
+                matches.append(
+                    BoundColumn(entry.binding, column.name, column.dtype)
+                )
+        if not matches:
+            raise BindError(f"unknown column {ref.name!r}")
+        if len(matches) > 1:
+            owners = ", ".join(m.binding for m in matches)
+            raise BindError(f"ambiguous column {ref.name!r} (in {owners})")
+        return matches[0]
+
+    # -- WHERE ---------------------------------------------------------------------
+    def _bind_where(self, query: ast.Query, bound: BoundQuery) -> None:
+        for conjunct in query.where:
+            left = self.bind_expr(conjunct.left, bound, allow_aggregates=False)
+            right = self.bind_expr(
+                conjunct.right, bound, allow_aggregates=False
+            )
+            _check_comparable(left, right, conjunct.op)
+            touched = bindings_in(left) | bindings_in(right)
+            if len(touched) <= 1:
+                comparison = BoundComparison(conjunct.op, left, right)
+                if touched:
+                    bound.filters[touched.pop()].append(comparison)
+                else:
+                    # Constant predicate: attach to the first table; the
+                    # staging code evaluates it once per tuple, which is
+                    # semantically correct if odd.
+                    bound.filters[bound.tables[0].binding].append(comparison)
+                continue
+            if (
+                len(touched) == 2
+                and conjunct.op == "="
+                and isinstance(left, BoundColumn)
+                and isinstance(right, BoundColumn)
+            ):
+                bound.joins.append(JoinPredicate(left, right))
+                continue
+            raise UnsupportedSqlError(
+                "only conjunctive equi-join predicates may span tables"
+            )
+
+    # -- SELECT / GROUP BY ---------------------------------------------------------
+    def _bind_select(self, query: ast.Query, bound: BoundQuery) -> None:
+        if (
+            len(query.select_items) == 1
+            and isinstance(query.select_items[0].expr, ast.ColumnRef)
+            and query.select_items[0].expr.name == "*"
+        ):
+            self._bind_select_star(query, bound)
+            return
+
+        group_columns = [
+            self._resolve_column(ref, bound) for ref in query.group_by
+        ]
+        bound.group_by = group_columns
+        grouped = bool(group_columns) or query.has_aggregates
+
+        for i, item in enumerate(query.select_items):
+            expr = self.bind_expr(item.expr, bound, allow_aggregates=True)
+            name = item.alias or _default_name(item.expr, i)
+            if isinstance(expr, BoundAggregate) or _contains_bound_aggregate(
+                expr
+            ):
+                if _partially_aggregated(expr):
+                    raise UnsupportedSqlError(
+                        "mixing aggregate and non-aggregate terms in one "
+                        "expression"
+                    )
+                bound.select.append(
+                    BoundOutput(name, expr, expr.dtype, "aggregate")
+                )
+                continue
+            if grouped:
+                self._check_grouped_output(expr, group_columns)
+                bound.select.append(
+                    BoundOutput(name, expr, expr.dtype, "group")
+                )
+            else:
+                bound.select.append(
+                    BoundOutput(name, expr, expr.dtype, "plain")
+                )
+        if grouped and not bound.select:
+            raise BindError("grouped query selects nothing")
+
+    def _bind_select_star(self, query: ast.Query, bound: BoundQuery) -> None:
+        if query.group_by:
+            raise BindError("SELECT * cannot be combined with GROUP BY")
+        for entry in bound.tables:
+            for column in entry.table.schema:
+                expr = BoundColumn(entry.binding, column.name, column.dtype)
+                bound.select.append(
+                    BoundOutput(column.name, expr, column.dtype, "plain")
+                )
+
+    @staticmethod
+    def _check_grouped_output(
+        expr: BoundExpr, group_columns: list[BoundColumn]
+    ) -> None:
+        group_keys = {(c.binding, c.column) for c in group_columns}
+        from repro.sql.bound import columns_in
+
+        for column in columns_in(expr):
+            if (column.binding, column.column) not in group_keys:
+                raise BindError(
+                    f"column {column.display()} is neither grouped nor "
+                    f"aggregated"
+                )
+
+    # -- ORDER BY ---------------------------------------------------------------------
+    def _bind_order_by(self, query: ast.Query, bound: BoundQuery) -> None:
+        if not query.order_by:
+            return
+        alias_index = {o.name.lower(): i for i, o in enumerate(bound.select)}
+        for item in query.order_by:
+            index = self._resolve_order_key(item.expr, alias_index, bound)
+            bound.order_by.append((index, item.ascending))
+
+    def _resolve_order_key(
+        self,
+        expr: ast.Expr,
+        alias_index: dict[str, int],
+        bound: BoundQuery,
+    ) -> int:
+        # 1. Bare name matching a select alias.
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            if expr.name.lower() in alias_index:
+                return alias_index[expr.name.lower()]
+        # 2. Expression equal to some select item's bound expression.
+        key = self.bind_expr(expr, bound, allow_aggregates=True)
+        for i, output in enumerate(bound.select):
+            if output.expr == key:
+                return i
+        raise UnsupportedSqlError(
+            "ORDER BY keys must appear in the select list"
+        )
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _bind_literal(literal: ast.Literal) -> BoundLiteral:
+    if literal.type_hint == "date":
+        return BoundLiteral(literal.value, DATE)
+    if literal.type_hint == "string" or isinstance(literal.value, str):
+        return BoundLiteral(literal.value, char(max(len(literal.value), 1)))
+    if isinstance(literal.value, bool):
+        raise UnsupportedSqlError("boolean literals")
+    if isinstance(literal.value, int):
+        return BoundLiteral(literal.value, INT)
+    return BoundLiteral(float(literal.value), DOUBLE)
+
+
+def _typed_arithmetic(
+    op: str, left: BoundExpr, right: BoundExpr
+) -> BoundArithmetic:
+    if not (left.dtype.is_numeric and right.dtype.is_numeric):
+        raise BindError(f"arithmetic {op!r} over non-numeric operands")
+    if left.dtype == DOUBLE or right.dtype == DOUBLE or op == "/":
+        dtype = DOUBLE
+    elif DATE in (left.dtype, right.dtype):
+        dtype = DATE if op in ("+", "-") else INT
+    else:
+        dtype = INT
+    return BoundArithmetic(op, left, right, dtype)
+
+
+def _check_comparable(left: BoundExpr, right: BoundExpr, op: str) -> None:
+    if not left.dtype.comparable_with(right.dtype):
+        raise BindError(
+            f"cannot compare {left.dtype.name} {op} {right.dtype.name}"
+        )
+
+
+def _contains_bound_aggregate(expr: BoundExpr) -> bool:
+    if isinstance(expr, BoundAggregate):
+        return True
+    if isinstance(expr, BoundArithmetic):
+        return _contains_bound_aggregate(expr.left) or _contains_bound_aggregate(
+            expr.right
+        )
+    return False
+
+
+def _partially_aggregated(expr: BoundExpr) -> bool:
+    """True when an expression mixes aggregate and bare-column terms."""
+    if isinstance(expr, BoundAggregate):
+        return False
+    if isinstance(expr, BoundArithmetic):
+        left_has = _contains_bound_aggregate(expr.left)
+        right_has = _contains_bound_aggregate(expr.right)
+        if left_has and right_has:
+            return _partially_aggregated(expr.left) or _partially_aggregated(
+                expr.right
+            )
+        if left_has:
+            return bool(bindings_in(expr.right)) or _partially_aggregated(
+                expr.left
+            )
+        if right_has:
+            return bool(bindings_in(expr.left)) or _partially_aggregated(
+                expr.right
+            )
+    return False
+
+
+def _default_name(expr: ast.Expr, index: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.Aggregate):
+        if expr.argument is None:
+            return "count_star"
+        if isinstance(expr.argument, ast.ColumnRef):
+            return f"{expr.func}_{expr.argument.name}"
+        return f"{expr.func}_{index}"
+    return f"col_{index}"

@@ -1,0 +1,99 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords
+are case-insensitive; identifiers keep their original spelling but
+compare case-insensitively downstream (the catalog lowercases names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+KEYWORDS = {
+    "select", "from", "where", "and", "group", "order", "by", "as",
+    "asc", "desc", "limit", "date", "interval", "day", "month", "year",
+    "sum", "count", "avg", "min", "max", "distinct",
+}
+
+#: Multi-character operators first so maximal munch works.
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/",
+              "(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind ∈ {ident, keyword, number, string, op, eof}."""
+
+    kind: str
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.text == op
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Lex ``sql`` into tokens, ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = sql.find("'", i + 1)
+            if end < 0:
+                raise LexerError(f"unterminated string at position {i}")
+            tokens.append(Token("string", sql[i + 1:end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # A dot not followed by a digit belongs to a qualified
+                    # name, not to this number.
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            text = word.lower() if kind == "keyword" else word
+            tokens.append(Token(kind, text, i))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                # Normalise != to <>.
+                text = "<>" if op == "!=" else op
+                tokens.append(Token("op", text, i))
+                i += len(op)
+                break
+        else:
+            raise LexerError(
+                f"unexpected character {ch!r} at position {i}"
+            )
+    tokens.append(Token("eof", "", n))
+    return tokens

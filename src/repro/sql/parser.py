@@ -1,0 +1,351 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (paper, Section IV: conjunctive queries, equi-joins, arbitrary
+groupings and sort orders; no nesting, no statistical aggregates):
+
+::
+
+    query      := SELECT select_list FROM table_list
+                  [WHERE conjunct (AND conjunct)*]
+                  [GROUP BY column (, column)*]
+                  [ORDER BY order_item (, order_item)*]
+                  [LIMIT number] [;]
+    select_list:= select_item (, select_item)* | '*'
+    select_item:= expr [AS ident]
+    table_list := table_ref (, table_ref)*
+    table_ref  := ident [ident]          -- optional alias
+    conjunct   := expr cmp expr
+    expr       := term ((+|-) term)*
+    term       := factor ((*|/) factor)*
+    factor     := literal | column | agg | '(' expr ')' | '-' factor
+    agg        := (SUM|COUNT|AVG|MIN|MAX) '(' (expr | '*') ')'
+    literal    := number | string | DATE string
+                | DATE string (+|-) INTERVAL string (DAY|MONTH|YEAR)
+    column     := ident ['.' ident]
+
+Date arithmetic is folded at parse time (TPC-H Q1 writes
+``date '1998-12-01' - interval '90' day``), so later stages only ever
+see resolved day ordinals.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.errors import ParseError, UnsupportedSqlError
+from repro.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    Aggregate,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+from repro.storage.types import date_to_ordinal, ordinal_to_date
+
+
+def parse(sql: str) -> Query:
+    """Parse one SELECT statement into a :class:`~repro.sql.ast.Query`."""
+    return _Parser(tokenize(sql)).parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise ParseError(
+                f"expected {word.upper()!r}, got {token.text!r} at "
+                f"position {token.position}"
+            )
+        return token
+
+    def _expect_op(self, op: str) -> Token:
+        token = self._advance()
+        if not token.is_op(op):
+            raise ParseError(
+                f"expected {op!r}, got {token.text!r} at position "
+                f"{token.position}"
+            )
+        return token
+
+    def _expect_ident(self) -> Token:
+        token = self._advance()
+        if token.kind != "ident":
+            raise ParseError(
+                f"expected identifier, got {token.text!r} at position "
+                f"{token.position}"
+            )
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _accept_op(self, op: str) -> bool:
+        if self._peek().is_op(op):
+            self._advance()
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------------
+    def parse_query(self) -> Query:
+        self._expect_keyword("select")
+        query = Query()
+        query.select_items = self._select_list()
+        self._expect_keyword("from")
+        query.tables = self._table_list()
+        if self._accept_keyword("where"):
+            query.where = self._conjunction()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            query.group_by = self._column_list()
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            query.order_by = self._order_list()
+        if self._accept_keyword("limit"):
+            token = self._advance()
+            if token.kind != "number":
+                raise ParseError(f"LIMIT expects a number, got {token.text!r}")
+            query.limit = int(token.text)
+        self._accept_op(";")
+        tail = self._peek()
+        if tail.kind != "eof":
+            if tail.is_keyword("select"):
+                raise UnsupportedSqlError("nested/multiple queries")
+            raise ParseError(
+                f"unexpected trailing token {tail.text!r} at position "
+                f"{tail.position}"
+            )
+        return query
+
+    def _select_list(self) -> list[SelectItem]:
+        if self._accept_op("*"):
+            return [SelectItem(ColumnRef("*"))]
+        items = [self._select_item()]
+        while self._accept_op(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        expr = self._expr()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident().text
+        elif self._peek().kind == "ident":
+            alias = self._advance().text
+        return SelectItem(expr, alias)
+
+    def _table_list(self) -> list[TableRef]:
+        refs = [self._table_ref()]
+        while self._accept_op(","):
+            refs.append(self._table_ref())
+        return refs
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect_ident().text
+        alias = None
+        if self._peek().kind == "ident":
+            alias = self._advance().text
+        return TableRef(name, alias)
+
+    def _conjunction(self) -> list[Comparison]:
+        conjuncts = [self._comparison()]
+        while self._accept_keyword("and"):
+            conjuncts.append(self._comparison())
+        return conjuncts
+
+    def _comparison(self) -> Comparison:
+        left = self._expr()
+        token = self._advance()
+        if token.kind != "op" or token.text not in ("=", "<>", "<", ">", "<=", ">="):
+            raise ParseError(
+                f"expected comparison operator, got {token.text!r} at "
+                f"position {token.position}"
+            )
+        right = self._expr()
+        return Comparison(token.text, left, right)
+
+    def _column_list(self) -> list[ColumnRef]:
+        columns = [self._column_ref()]
+        while self._accept_op(","):
+            columns.append(self._column_ref())
+        return columns
+
+    def _order_list(self) -> list[OrderItem]:
+        items = [self._order_item()]
+        while self._accept_op(","):
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self) -> OrderItem:
+        expr = self._expr()
+        ascending = True
+        if self._accept_keyword("desc"):
+            ascending = False
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(expr, ascending)
+
+    # -- expressions --------------------------------------------------------------
+    def _expr(self) -> Expr:
+        left = self._term()
+        while True:
+            if self._accept_op("+"):
+                left = self._fold_or_node("+", left, self._term())
+            elif self._accept_op("-"):
+                left = self._fold_or_node("-", left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while True:
+            if self._accept_op("*"):
+                left = Arithmetic("*", left, self._factor())
+            elif self._accept_op("/"):
+                left = Arithmetic("/", left, self._factor())
+            else:
+                return left
+
+    def _factor(self) -> Expr:
+        token = self._peek()
+        if token.is_keyword("interval"):
+            self._advance()
+            return self._interval_literal()
+        if token.is_op("("):
+            self._advance()
+            expr = self._expr()
+            self._expect_op(")")
+            return expr
+        if token.is_op("-"):
+            self._advance()
+            inner = self._factor()
+            if isinstance(inner, Literal) and isinstance(
+                inner.value, (int, float)
+            ):
+                return Literal(-inner.value, inner.type_hint)
+            return Arithmetic("-", Literal(0, "int"), inner)
+        if token.kind == "number":
+            self._advance()
+            if "." in token.text:
+                return Literal(float(token.text), "double")
+            return Literal(int(token.text), "int")
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.text, "string")
+        if token.is_keyword("date"):
+            self._advance()
+            return self._date_literal()
+        if token.kind == "keyword" and token.text in AGGREGATE_FUNCTIONS:
+            self._advance()
+            return self._aggregate(token.text)
+        if token.kind == "ident":
+            return self._column_ref()
+        raise ParseError(
+            f"unexpected token {token.text!r} at position {token.position}"
+        )
+
+    def _date_literal(self) -> Literal:
+        token = self._advance()
+        if token.kind != "string":
+            raise ParseError("DATE expects a quoted literal")
+        try:
+            day = date_to_ordinal(token.text)
+        except ValueError as exc:
+            raise ParseError(f"bad date literal {token.text!r}") from exc
+        return Literal(day, "date")
+
+    def _aggregate(self, func: str) -> Aggregate:
+        self._expect_op("(")
+        if self._accept_keyword("distinct"):
+            raise UnsupportedSqlError("DISTINCT aggregates")
+        if func == "count" and self._accept_op("*"):
+            self._expect_op(")")
+            return Aggregate("count", None)
+        argument = self._expr()
+        self._expect_op(")")
+        return Aggregate(func, argument)
+
+    def _interval_literal(self) -> "_IntervalLiteral":
+        amount_token = self._advance()
+        if amount_token.kind not in ("string", "number"):
+            raise ParseError("INTERVAL expects a quoted or numeric amount")
+        amount = int(amount_token.text)
+        unit_token = self._advance()
+        if not (
+            unit_token.kind == "keyword"
+            and unit_token.text in ("day", "month", "year")
+        ):
+            raise ParseError("INTERVAL unit must be DAY, MONTH or YEAR")
+        return _IntervalLiteral(amount, unit_token.text)
+
+    def _column_ref(self) -> ColumnRef:
+        first = self._expect_ident().text
+        if self._accept_op("."):
+            second = self._expect_ident().text
+            return ColumnRef(second, first)
+        return ColumnRef(first)
+
+    # -- date arithmetic folding -----------------------------------------------------
+    def _fold_or_node(self, op: str, left: Expr, right: Expr) -> Expr:
+        """Fold ``DATE ± INTERVAL`` at parse time; else build a node."""
+        if (
+            isinstance(left, Literal)
+            and left.type_hint == "date"
+            and isinstance(right, _IntervalLiteral)
+        ):
+            base = ordinal_to_date(left.value)
+            shifted = right.shift(base, negate=(op == "-"))
+            return Literal(date_to_ordinal(shifted), "date")
+        if isinstance(right, _IntervalLiteral):
+            raise ParseError("INTERVAL may only be added to a DATE literal")
+        return Arithmetic(op, left, right)
+
+
+class _IntervalLiteral(Expr):
+    """Parse-time-only node for ``INTERVAL 'n' unit``."""
+
+    def __init__(self, amount: int, unit: str):
+        self.amount = amount
+        self.unit = unit
+
+    def shift(self, base: datetime.date, negate: bool) -> datetime.date:
+        amount = -self.amount if negate else self.amount
+        if self.unit == "day":
+            return base + datetime.timedelta(days=amount)
+        if self.unit == "month":
+            month_index = base.year * 12 + (base.month - 1) + amount
+            year, month = divmod(month_index, 12)
+            day = min(base.day, _days_in_month(year, month + 1))
+            return datetime.date(year, month + 1, day)
+        return datetime.date(base.year + amount, base.month, base.day)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        return 31
+    first = datetime.date(year, month, 1)
+    nxt = datetime.date(year, month + 1, 1)
+    return (nxt - first).days

@@ -1,0 +1,175 @@
+"""Relational schemas and the tuple codec built on top of them.
+
+A :class:`Schema` is an ordered list of named, typed columns.  It
+precomputes everything the engines and the code generator need for
+offset-based field access:
+
+* the full-tuple ``struct`` codec (``encode`` / ``decode``);
+* per-field byte offsets and single-field ``struct.Struct`` unpackers, so
+  generated code (and the "optimized hard-coded" baselines) can read one
+  field of one tuple straight out of a page buffer without touching the
+  other fields — the Python analogue of the paper's pointer casts.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import CatalogError, StorageError
+from repro.storage.types import DataType
+
+
+class Column:
+    """A named, typed column, optionally qualified by its table name."""
+
+    __slots__ = ("name", "dtype", "table")
+
+    def __init__(self, name: str, dtype: DataType, table: str | None = None):
+        self.name = name
+        self.dtype = dtype
+        self.table = table
+
+    @property
+    def qualified_name(self) -> str:
+        """``table.column`` when the table is known, else the bare name."""
+        if self.table:
+            return f"{self.table}.{self.name}"
+        return self.name
+
+    def renamed(self, name: str, table: str | None = None) -> "Column":
+        return Column(name, self.dtype, table)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"Column({self.qualified_name}: {self.dtype.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Column)
+            and self.name == other.name
+            and self.dtype == other.dtype
+            and self.table == other.table
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dtype, self.table))
+
+
+class Schema:
+    """An ordered collection of columns with a fixed-length tuple codec."""
+
+    def __init__(self, columns: Iterable[Column]):
+        self.columns: tuple[Column, ...] = tuple(columns)
+        if not self.columns:
+            raise StorageError("a schema requires at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            # Qualified access may still disambiguate; only the unqualified
+            # duplicates are ambiguous and we let the binder handle those.
+            qualified = [c.qualified_name for c in self.columns]
+            if len(set(qualified)) != len(qualified):
+                raise CatalogError(f"duplicate columns in schema: {names}")
+
+        # Full-tuple codec.  '<' fixes byte order and removes padding so
+        # offsets are exactly the sum of preceding field sizes.
+        self._format = "<" + "".join(c.dtype.struct_char for c in self.columns)
+        self._codec = struct.Struct(self._format)
+
+        # Per-field offsets and single-field codecs for direct access.
+        offsets: list[int] = []
+        pos = 0
+        for col in self.columns:
+            offsets.append(pos)
+            pos += col.dtype.size
+        self._offsets = tuple(offsets)
+        self._field_codecs = tuple(
+            struct.Struct("<" + c.dtype.struct_char) for c in self.columns
+        )
+        self._index_by_name: dict[str, int] = {}
+        for i, col in enumerate(self.columns):
+            self._index_by_name.setdefault(col.name, i)
+            if col.table:
+                self._index_by_name[col.qualified_name] = i
+
+    # -- basic introspection ----------------------------------------------
+    @property
+    def tuple_size(self) -> int:
+        """Bytes one encoded tuple occupies on a page."""
+        return self._codec.size
+
+    @property
+    def struct_format(self) -> str:
+        return self._format
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __getitem__(self, index: int) -> Column:
+        return self.columns[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        cols = ", ".join(f"{c.qualified_name} {c.dtype.name}" for c in self)
+        return f"Schema({cols})"
+
+    def index_of(self, name: str) -> int:
+        """Position of a column by bare or qualified name."""
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise CatalogError(f"unknown column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index_by_name
+
+    def offset_of(self, index: int) -> int:
+        """Byte offset of column ``index`` inside an encoded tuple."""
+        return self._offsets[index]
+
+    def field_codec(self, index: int) -> struct.Struct:
+        """Single-field ``struct.Struct`` for column ``index``."""
+        return self._field_codecs[index]
+
+    # -- codec --------------------------------------------------------------
+    def encode(self, row: Sequence[Any]) -> bytes:
+        """Pack a Python row into its fixed-length page representation."""
+        if len(row) != len(self.columns):
+            raise StorageError(
+                f"row arity {len(row)} != schema arity {len(self.columns)}"
+            )
+        storage = [
+            col.dtype.to_storage(val) for col, val in zip(self.columns, row)
+        ]
+        return self._codec.pack(*storage)
+
+    def decode(self, buffer, offset: int = 0) -> tuple:
+        """Unpack one tuple at ``offset`` in ``buffer`` into Python values."""
+        raw = self._codec.unpack_from(buffer, offset)
+        return tuple(
+            col.dtype.from_storage(val) for col, val in zip(self.columns, raw)
+        )
+
+    def decode_field(self, buffer, tuple_offset: int, index: int) -> Any:
+        """Unpack a single field without decoding the rest of the tuple."""
+        value = self._field_codecs[index].unpack_from(
+            buffer, tuple_offset + self._offsets[index]
+        )[0]
+        return self.columns[index].dtype.from_storage(value)
+
+    # -- derivation helpers --------------------------------------------------
+    def project(self, indexes: Sequence[int]) -> "Schema":
+        """A new schema keeping the columns at ``indexes`` (in order)."""
+        return Schema(self.columns[i] for i in indexes)
+
+    def qualify(self, table: str) -> "Schema":
+        """A copy of this schema with every column owned by ``table``."""
+        return Schema(Column(c.name, c.dtype, table) for c in self.columns)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of the join of two inputs (columns of both, in order)."""
+        return Schema(self.columns + other.columns)

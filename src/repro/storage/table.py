@@ -1,0 +1,173 @@
+"""Tables: schema + heap file + buffer-mediated access paths.
+
+A :class:`Table` couples a schema with a heap file and exposes the three
+access paths the engines use:
+
+* ``append`` / ``load_rows`` for building tables;
+* ``scan_rows`` for decoded row iteration (iterator engines, tests);
+* ``pages`` / ``page_buffers`` for page-granular access, which is what
+  the HIQUE-generated code and the hard-coded baselines use — they walk
+  raw page bytes with per-field offsets, exactly like the C templates in
+  the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferManager
+from repro.storage.heapfile import HeapFile, MemoryFile
+from repro.storage.page import Page
+from repro.storage.schema import Schema
+
+
+class Table:
+    """A stored relation."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        file: HeapFile | None = None,
+        buffer: BufferManager | None = None,
+    ):
+        self.name = name
+        self.schema = schema.qualify(name) if _unqualified(schema) else schema
+        self.file = file if file is not None else MemoryFile()
+        self.buffer = buffer if buffer is not None else BufferManager()
+        self._row_count = 0
+        self._tail_page_no: int | None = None
+        # Rows may pre-exist in the file (e.g. reopened DiskFile).
+        if self.file.num_pages:
+            self._row_count = sum(
+                p.num_tuples for p in self.pages()
+            )
+            self._tail_page_no = self.file.num_pages - 1
+
+    # -- building --------------------------------------------------------------
+    def append(self, row: Sequence[Any]) -> None:
+        """Append one Python row."""
+        encoded = self.schema.encode(row)
+        page = self._tail_page()
+        if page.is_full:
+            page = self._grow()
+        page.insert(encoded)
+        assert self._tail_page_no is not None
+        self.buffer.unpin(self.file, self._tail_page_no, dirty=True)
+        self._row_count += 1
+
+    def load_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-append rows; returns the number inserted.
+
+        Packs pages directly (one pin per page, not per row), which is the
+        path the data generators use.
+        """
+        count = 0
+        encode = self.schema.encode
+        page: Page | None = None
+        page_no: int | None = None
+        for row in rows:
+            if page is None or page.is_full:
+                if page is not None:
+                    self.buffer.unpin(self.file, page_no, dirty=True)
+                page_no, page = self.buffer.new_page(self.file, self.schema)
+                self._tail_page_no = page_no
+            page.insert(encode(row))
+            count += 1
+        if page is not None:
+            self.buffer.unpin(self.file, page_no, dirty=True)
+        self._row_count += count
+        return count
+
+    def _tail_page(self) -> Page:
+        if self._tail_page_no is None:
+            page_no, page = self.buffer.new_page(self.file, self.schema)
+            self._tail_page_no = page_no
+            return page
+        return self.buffer.get_page(
+            self.file, self._tail_page_no, self.schema
+        )
+
+    def _grow(self) -> Page:
+        assert self._tail_page_no is not None
+        self.buffer.unpin(self.file, self._tail_page_no)
+        page_no, page = self.buffer.new_page(self.file, self.schema)
+        self._tail_page_no = page_no
+        return page
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._row_count
+
+    @property
+    def num_pages(self) -> int:
+        return self.file.num_pages
+
+    @property
+    def tuple_size(self) -> int:
+        return self.schema.tuple_size
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"Table({self.name!r}, {self._row_count} rows, "
+            f"{self.num_pages} pages)"
+        )
+
+    # -- access paths -----------------------------------------------------------
+    def read_page(self, page_no: int) -> Page:
+        """Buffer-mediated unpinned page read (generated-code path)."""
+        return self.buffer.scan_page(self.file, page_no, self.schema)
+
+    def pages(self) -> Iterator[Page]:
+        """Iterate over all pages through the buffer manager."""
+        for page_no in range(self.file.num_pages):
+            yield self.buffer.scan_page(self.file, page_no, self.schema)
+
+    def scan_rows(self) -> Iterator[tuple]:
+        """Iterate over all rows decoded into Python tuples."""
+        for page in self.pages():
+            yield from page.rows()
+
+    def all_rows(self) -> list[tuple]:
+        """Materialise the whole table (tests and small inputs only)."""
+        return list(self.scan_rows())
+
+    def row_at(self, page_no: int, slot: int) -> tuple:
+        """Fetch one row by rid; used by index lookups."""
+        page = self.read_page(page_no)
+        return page.read(slot)
+
+    def truncate(self) -> None:
+        """Remove all rows (pages are cleared, not deallocated)."""
+        for page_no in range(self.file.num_pages):
+            page = self.buffer.get_page(self.file, page_no, self.schema)
+            page.clear()
+            self.buffer.unpin(self.file, page_no, dirty=True)
+        self._row_count = 0
+
+
+def _unqualified(schema: Schema) -> bool:
+    return all(c.table is None for c in schema.columns)
+
+
+def table_from_rows(
+    name: str,
+    schema: Schema,
+    rows: Iterable[Sequence[Any]],
+    buffer: BufferManager | None = None,
+) -> Table:
+    """Convenience constructor used pervasively by tests and benchmarks."""
+    table = Table(name, schema, buffer=buffer)
+    table.load_rows(rows)
+    return table
+
+
+def require_same_arity(table: Table, row: Sequence[Any]) -> None:
+    """Explicit arity check helper for user-facing load paths."""
+    if len(row) != len(table.schema):
+        raise StorageError(
+            f"row arity {len(row)} does not match table "
+            f"{table.name!r} arity {len(table.schema)}"
+        )

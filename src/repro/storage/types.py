@@ -1,0 +1,166 @@
+"""Column data types and the fixed-length tuple codec.
+
+HIQUE stores tuples in NSM pages as fixed-length byte arrays so that the
+generated code can address any field of any tuple with plain pointer
+arithmetic (``tuple_base + field_offset``).  This module defines the type
+system and the ``struct``-based codec that gives the same property in
+Python: every type has a fixed on-page size, a ``struct`` format
+character, and explicit encode/decode hooks between Python values and
+their stored representation.
+
+Supported types mirror what the paper's workloads need:
+
+* ``INT`` — 64-bit signed integer (join keys, counts).
+* ``DOUBLE`` — IEEE-754 double (prices, discounts; stands in for SQL
+  ``DECIMAL`` exactly as most engines do internally).
+* ``CHAR(n)`` / ``VARCHAR(n)`` — fixed slot of ``n`` bytes, space padded.
+  ``VARCHAR`` differs only in trailing-space semantics on decode.
+* ``DATE`` — 32-bit proleptic-Gregorian ordinal (days); compares like the
+  calendar date, which is all TPC-H predicates need.
+* ``BOOL`` — one byte.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import StorageError
+
+#: Unix-ish epoch used for DATE storage; any fixed origin works because
+#: only comparisons and arithmetic on day counts are performed.
+_DATE_EPOCH = datetime.date(1970, 1, 1).toordinal()
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A column data type with a fixed on-page representation.
+
+    Attributes:
+        name: SQL-ish display name, e.g. ``"INT"`` or ``"CHAR(10)"``.
+        code: short family code (``"int"``, ``"double"``, ``"char"``,
+            ``"varchar"``, ``"date"``, ``"bool"``) used by the planner and
+            the code generator to pick type-specialised code paths.
+        size: number of bytes the value occupies inside a tuple.
+        struct_char: ``struct`` format for the stored representation.
+    """
+
+    name: str
+    code: str
+    size: int
+    struct_char: str
+
+    # -- value conversion -------------------------------------------------
+    def to_storage(self, value: Any) -> Any:
+        """Convert a Python value to the representation ``struct`` packs."""
+        if self.code in ("char", "varchar"):
+            if isinstance(value, bytes):
+                raw = value
+            else:
+                raw = str(value).encode("utf-8")
+            if len(raw) > self.size:
+                raise StorageError(
+                    f"value of length {len(raw)} does not fit {self.name}"
+                )
+            return raw.ljust(self.size, b" ")
+        if self.code == "date":
+            if isinstance(value, datetime.date):
+                return value.toordinal() - _DATE_EPOCH
+            return int(value)
+        if self.code == "int":
+            return int(value)
+        if self.code == "double":
+            return float(value)
+        if self.code == "bool":
+            return bool(value)
+        raise StorageError(f"unknown type family {self.code!r}")
+
+    def from_storage(self, value: Any) -> Any:
+        """Convert a value unpacked by ``struct`` to its Python form."""
+        if self.code in ("char", "varchar"):
+            return value.rstrip(b" ").decode("utf-8")
+        return value
+
+    # -- classification helpers -------------------------------------------
+    @property
+    def is_numeric(self) -> bool:
+        return self.code in ("int", "double", "date", "bool")
+
+    @property
+    def is_string(self) -> bool:
+        return self.code in ("char", "varchar")
+
+    def comparable_with(self, other: "DataType") -> bool:
+        """Whether predicates may compare values of ``self`` and ``other``."""
+        if self.is_string and other.is_string:
+            return True
+        if self.code == "date" or other.code == "date":
+            return {self.code, other.code} <= {"date", "int"}
+        return self.is_numeric and other.is_numeric
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.name
+
+
+# -- public constructors ---------------------------------------------------
+
+INT = DataType("INT", "int", 8, "q")
+DOUBLE = DataType("DOUBLE", "double", 8, "d")
+DATE = DataType("DATE", "date", 4, "i")
+BOOL = DataType("BOOL", "bool", 1, "?")
+
+
+def char(n: int) -> DataType:
+    """A fixed-length ``CHAR(n)`` column type."""
+    if n <= 0:
+        raise StorageError("CHAR length must be positive")
+    return DataType(f"CHAR({n})", "char", n, f"{n}s")
+
+
+def varchar(n: int) -> DataType:
+    """A ``VARCHAR(n)`` column type stored in a fixed ``n``-byte slot.
+
+    The paper's storage layer (like many NSM teaching engines) stores all
+    fields at fixed offsets so that generated code can use direct
+    addressing; VARCHAR therefore reserves its maximum width.
+    """
+    if n <= 0:
+        raise StorageError("VARCHAR length must be positive")
+    return DataType(f"VARCHAR({n})", "varchar", n, f"{n}s")
+
+
+def date_to_ordinal(value: datetime.date | str) -> int:
+    """Days-since-epoch for a date or ISO ``YYYY-MM-DD`` string.
+
+    This is the integer form DATE columns hold on-page, and the form date
+    literals take inside generated code (so predicates compare plain ints).
+    """
+    if isinstance(value, str):
+        value = datetime.date.fromisoformat(value)
+    return value.toordinal() - _DATE_EPOCH
+
+
+def ordinal_to_date(value: int) -> datetime.date:
+    """Inverse of :func:`date_to_ordinal`."""
+    return datetime.date.fromordinal(value + _DATE_EPOCH)
+
+
+def type_from_sql(name: str, length: int | None = None) -> DataType:
+    """Resolve a SQL type name (as produced by the parser) to a DataType."""
+    upper = name.upper()
+    if upper in ("INT", "INTEGER", "BIGINT"):
+        return INT
+    if upper in ("DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC"):
+        return DOUBLE
+    if upper == "DATE":
+        return DATE
+    if upper in ("BOOL", "BOOLEAN"):
+        return BOOL
+    if upper == "CHAR":
+        return char(length if length is not None else 1)
+    if upper == "VARCHAR":
+        if length is None:
+            raise StorageError("VARCHAR requires a length")
+        return varchar(length)
+    raise StorageError(f"unsupported SQL type {name!r}")

@@ -1,0 +1,164 @@
+"""Tests for the public Database facade and the experiment harness."""
+
+import pytest
+
+from repro import Column, Database, INT, DOUBLE, ReproError, char
+from repro.bench import (
+    SCALES,
+    fig7a,
+    fig7b,
+    fig7c,
+    fig7d,
+    get_scale,
+    make_group_table,
+    make_join_pair,
+    make_team_tables,
+    synth_schema,
+)
+from repro.bench.reporting import ExperimentResult, render_table, speedup
+from repro.storage import Catalog
+
+
+class TestDatabaseFacade:
+    def _db(self):
+        db = Database()
+        db.create_table(
+            "t", [Column("a", INT), Column("b", DOUBLE), Column("c", char(4))]
+        )
+        db.load_rows("t", [(i, i * 0.5, f"g{i % 2}") for i in range(50)])
+        db.analyze()
+        return db
+
+    def test_execute_default_engine(self):
+        db = self._db()
+        rows = db.execute("SELECT c, sum(b) AS s FROM t GROUP BY c")
+        assert len(rows) == 2
+
+    def test_engine_kinds_all_work(self):
+        db = self._db()
+        sql = "SELECT c, count(*) AS n FROM t GROUP BY c ORDER BY c"
+        results = {
+            kind: db.execute(sql, engine=kind)
+            for kind in (
+                "hique", "hique-o0", "volcano", "volcano-generic",
+                "systemx", "vectorized",
+            )
+        }
+        baseline = results["hique"]
+        assert all(r == baseline for r in results.values())
+
+    def test_engines_are_cached(self):
+        db = self._db()
+        assert db.engine("hique") is db.engine("hique")
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ReproError):
+            self._db().engine("duckdb")
+
+    def test_explain_and_source(self):
+        db = self._db()
+        assert "ScanStage" in db.explain("SELECT a FROM t")
+        assert "def run_query" in db.generated_source("SELECT a FROM t")
+
+
+class TestSynthGenerators:
+    def test_synth_schema_is_72_bytes(self):
+        assert synth_schema().tuple_size == 72
+
+    def test_join_pair_match_counts(self):
+        catalog = Catalog()
+        outer, inner = make_join_pair(catalog, 100, 200, 10)
+        inner_keys = {}
+        for row in inner.scan_rows():
+            inner_keys[row[0]] = inner_keys.get(row[0], 0) + 1
+        assert all(count == 10 for count in inner_keys.values())
+        assert len(inner_keys) == 20
+        # Every outer key exists in the inner table.
+        for row in outer.scan_rows():
+            assert row[0] in inner_keys
+
+    def test_join_pair_rejects_bad_multiple(self):
+        with pytest.raises(ValueError):
+            make_join_pair(Catalog(), 10, 10, 3)
+
+    def test_group_table_distincts(self):
+        catalog = Catalog()
+        table = make_group_table(catalog, 500, 7)
+        keys = {row[0] for row in table.scan_rows()}
+        assert keys <= set(range(7))
+        assert catalog.stats("events").columns["k"].distinct == len(keys)
+
+    def test_team_tables_output_cardinality(self):
+        catalog = Catalog()
+        tables = make_team_tables(catalog, 200, 20, 3)
+        assert len(tables) == 4
+        # Each small table holds each key exactly once.
+        for small in tables[1:]:
+            keys = [row[0] for row in small.scan_rows()]
+            assert sorted(keys) == list(range(20))
+
+    def test_deterministic_for_seed(self):
+        first = make_group_table(Catalog(), 50, 5, seed=9).all_rows()
+        second = make_group_table(Catalog(), 50, 5, seed=9).all_rows()
+        assert first == second
+
+
+class TestReporting:
+    def test_render_alignment(self):
+        result = ExperimentResult("demo", ["Name", "Value"])
+        result.add("short", 1.5)
+        result.add("a-longer-label", 20000.0)
+        text = result.render()
+        lines = text.split("\n")
+        assert lines[0] == "== demo =="
+        assert len(set(len(line) for line in lines[1:3])) == 1
+
+    def test_column_and_row_lookup(self):
+        result = ExperimentResult("demo", ["Name", "Value"])
+        result.add("x", 1)
+        result.add("y", 2)
+        assert result.column("Value") == [1, 2]
+        assert result.row_by("Name", "y") == ("y", 2)
+
+    def test_notes_rendered(self):
+        result = ExperimentResult("demo", ["A"])
+        result.note("scaled down")
+        assert "note: scaled down" in result.render()
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(1.0, 0.0) == float("inf")
+
+    def test_scales_registry(self):
+        assert get_scale("tiny").name == "tiny"
+        assert get_scale(SCALES["small"]) is SCALES["small"]
+
+
+class TestExperimentShapes:
+    """Fast shape checks on the tiny scale (full runs live in
+    benchmarks/)."""
+
+    def test_fig7a_columns_and_growth(self):
+        result = fig7a("tiny")
+        assert result.headers[0] == "Inner rows"
+        assert len(result.rows) == 2
+        # Inner cardinality strictly grows down the rows.
+        inner = result.column("Inner rows")
+        assert inner == sorted(inner)
+
+    def test_fig7b_team_beats_binary_iterators(self):
+        result = fig7b("tiny")
+        for row in result.rows:
+            iterators = row[1]
+            team = row[3]
+            assert team < iterators
+
+    def test_fig7c_hique_beats_iterators(self):
+        result = fig7c("tiny")
+        for row in result.rows:
+            assert row[3] < row[1]  # Merge-HIQUE < Merge-Iterators
+
+    def test_fig7d_all_cells_positive(self):
+        result = fig7d("tiny")
+        for row in result.rows:
+            assert all(value > 0 for value in row[1:])

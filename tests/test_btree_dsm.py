@@ -1,0 +1,162 @@
+"""Tests for the fractal B+-tree index and the DSM column store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.btree import (
+    BPlusTree,
+    INTERNAL_FANOUT,
+    LEAF_CAPACITY,
+    NODES_PER_PAGE,
+    NodeAllocator,
+    build_index,
+)
+from repro.storage.dsm import from_rows, from_table
+from repro.storage.schema import Column, Schema
+from repro.storage.table import table_from_rows
+from repro.storage.types import DOUBLE, INT, char
+
+
+class TestNodeAllocator:
+    def test_four_nodes_per_page(self):
+        allocator = NodeAllocator()
+        ids = [allocator.allocate() for _ in range(9)]
+        assert [NodeAllocator.page_of(i) for i in ids] == [
+            0, 0, 0, 0, 1, 1, 1, 1, 2,
+        ]
+        assert allocator.num_pages == 3
+
+    def test_quarters(self):
+        assert NodeAllocator.quarter_of(5) == 1
+        assert NodeAllocator.quarter_of(8) == 0
+
+    def test_geometry_from_byte_budget(self):
+        # 1024-byte nodes with 8-byte keys/pointers and a 16-byte header.
+        assert INTERNAL_FANOUT == 63
+        assert LEAF_CAPACITY == 63
+        assert NODES_PER_PAGE == 4
+
+
+class TestBPlusTree:
+    def test_insert_and_search(self):
+        tree = BPlusTree()
+        tree.insert(5, (0, 1))
+        tree.insert(3, (0, 2))
+        assert tree.search(5) == [(0, 1)]
+        assert tree.search(99) == []
+
+    def test_duplicates_accumulate(self):
+        tree = BPlusTree()
+        tree.insert(7, (0, 0))
+        tree.insert(7, (1, 1))
+        assert tree.search(7) == [(0, 0), (1, 1)]
+        assert len(tree) == 2
+        assert tree.num_keys == 1
+
+    def test_splits_preserve_order(self):
+        tree = BPlusTree(leaf_capacity=4, internal_fanout=4)
+        keys = list(range(100))
+        import random
+
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, (0, key))
+        assert [k for k, _ in tree.items()] == list(range(100))
+        assert tree.height > 1
+        tree.check_invariants()
+
+    def test_range_scan_bounds(self):
+        tree = BPlusTree(leaf_capacity=4, internal_fanout=4)
+        for key in range(50):
+            tree.insert(key, (0, key))
+        got = [k for k, _ in tree.range_scan(10, 20)]
+        assert got == list(range(10, 21))
+
+    def test_range_scan_open_ends(self):
+        tree = BPlusTree(leaf_capacity=4, internal_fanout=4)
+        for key in range(20):
+            tree.insert(key, (0, key))
+        assert len(list(tree.range_scan(None, 5))) == 6
+        assert len(list(tree.range_scan(15, None))) == 5
+
+    def test_fractal_page_accounting(self):
+        tree = BPlusTree(leaf_capacity=4, internal_fanout=4)
+        for key in range(200):
+            tree.insert(key, (0, key))
+        assert tree.num_pages == -(-tree.allocator.num_nodes // 4)
+
+    def test_degenerate_geometry_rejected(self):
+        import repro.errors as errors
+
+        with pytest.raises(errors.StorageError):
+            BPlusTree(leaf_capacity=1)
+
+    @given(
+        st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_property(self, keys):
+        tree = BPlusTree(leaf_capacity=4, internal_fanout=5)
+        for slot, key in enumerate(keys):
+            tree.insert(key, (0, slot))
+        tree.check_invariants()
+        assert len(tree) == len(keys)
+        assert tree.num_keys == len(set(keys))
+        # Every inserted rid is findable under its key.
+        for slot, key in enumerate(keys):
+            assert (0, slot) in tree.search(key)
+        # Ordered iteration: keys non-decreasing, one entry per rid,
+        # distinct keys match the input's.
+        iterated = [k for k, _ in tree.items()]
+        assert iterated == sorted(iterated)
+        assert len(iterated) == len(keys)
+        assert sorted(set(iterated)) == sorted(set(keys))
+
+    def test_build_index_over_table(self):
+        schema = Schema([Column("k", INT), Column("v", INT)])
+        table = table_from_rows(
+            "t", schema, [(i % 7, i) for i in range(700)]
+        )
+        tree = build_index(table, "k")
+        rids = tree.search(3)
+        assert len(rids) == 100
+        for page_no, slot in rids:
+            assert table.row_at(page_no, slot)[0] == 3
+
+
+class TestDsm:
+    def test_from_table_roundtrip(self):
+        schema = Schema(
+            [Column("a", INT), Column("b", DOUBLE), Column("c", char(6))]
+        )
+        rows = [(i, i * 0.5, f"s{i % 4}") for i in range(50)]
+        table = table_from_rows("t", schema, rows)
+        columnar = from_table(table)
+        assert columnar.num_rows == 50
+        assert columnar.column("a").dtype == np.int64
+        assert columnar.column("b").dtype == np.float64
+        assert columnar.column("c").dtype == np.dtype("S6")
+        for i in (0, 13, 49):
+            assert columnar.row(i) == rows[i]
+
+    def test_from_rows(self):
+        schema = Schema([Column("x", INT)])
+        columnar = from_rows("t", schema, [(1,), (2,), (3,)])
+        assert columnar.column("x").tolist() == [1, 2, 3]
+
+    def test_qualified_column_access(self):
+        schema = Schema([Column("a", INT)]).qualify("t")
+        columnar = from_rows("t", schema, [(9,)])
+        assert columnar.column("t.a").tolist() == [9]
+
+    def test_gather_order(self):
+        schema = Schema([Column("a", INT), Column("b", INT)])
+        columnar = from_rows("t", schema, [(1, 2)])
+        b_col, a_col = columnar.gather(["b", "a"])
+        assert b_col.tolist() == [2]
+        assert a_col.tolist() == [1]

@@ -1,0 +1,91 @@
+"""Integration smoke tests: the shipped example scripts must run.
+
+Each example is executed in a subprocess (they are user-facing entry
+points, so they should work exactly as documented), with scaled-down
+parameters where the script accepts them.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples",
+)
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "All five engines agree" in out
+        assert "def " in out  # generated code shown
+
+    def test_tpch_analytics(self):
+        out = run_example("tpch_analytics.py", "0.001")
+        assert "HIQUE" in out
+        assert "faster than the generic iterator engine" in out
+
+    def test_codegen_inspection(self):
+        out = run_example("codegen_inspection.py")
+        assert "run_query" in out
+        assert "compile" in out
+        assert "Result (5 groups)" in out
+
+    def test_join_teams(self):
+        out = run_example("join_teams.py", timeout=420)
+        assert "HIQUE join team" in out
+        assert "def team_join" in out
+
+
+class TestHarnessEndToEnd:
+    def test_fig5_returns_four_results(self):
+        from repro.bench import fig5
+
+        results = fig5("tiny")
+        names = [r.name for r in results]
+        assert len(results) == 4
+        assert any("5(a)" in n for n in names)
+        assert any("5(d)" in n for n in names)
+
+    def test_fig8_tiny_shape(self):
+        from repro.bench import fig8, get_scale, make_tpch_database
+
+        db = make_tpch_database(get_scale("tiny").tpch_sf)
+        result = fig8("tiny", db=db)
+        hique = result.row_by("System", "HIQUE")
+        postgres = result.row_by("System", "PostgreSQL*")
+        for column in range(1, 4):
+            assert hique[column] < postgres[column]
+
+    def test_table3_tiny(self):
+        from repro.bench import get_scale, make_tpch_database, table3
+
+        db = make_tpch_database(get_scale("tiny").tpch_sf)
+        result = table3("tiny", db=db)
+        assert [row[0] for row in result.rows] == ["Q1", "Q3", "Q10"]
+        sources = result.column("Source (bytes)")
+        assert sources[0] < sources[1] < sources[2]  # Q1 < Q3 < Q10
+
+    def test_table2_tiny_o2_wins_for_hique(self):
+        from repro.bench import table2
+
+        result = table2("tiny")
+        hique = result.row_by("Version", "HIQUE")
+        _label, *times = hique
+        for o0_time, o2_time in zip(times[0::2], times[1::2]):
+            assert o2_time < o0_time * 1.25  # generous at tiny scale

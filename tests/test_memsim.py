@@ -1,0 +1,207 @@
+"""Tests for the memory-hierarchy simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim import costs
+from repro.memsim.cache import Cache, CacheConfig
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.prefetch import SequentialPrefetcher, StridePrefetcher
+from repro.memsim.probe import AddressSpace, NULL_PROBE, Probe, snapshot
+
+
+class TestCache:
+    def _tiny(self) -> Cache:
+        return Cache(CacheConfig("T", size=1024, line_size=64,
+                                 associativity=2))
+
+    def test_cold_miss_then_hit(self):
+        cache = self._tiny()
+        assert cache.access(5) is False
+        cache.install(5)
+        assert cache.access(5) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_within_set(self):
+        cache = self._tiny()  # 8 sets, 2 ways
+        # Lines 0, 8, 16 map to set 0; capacity is two ways.
+        cache.install(0)
+        cache.install(8)
+        assert cache.access(0)  # 0 becomes MRU
+        victim = cache.install(16)
+        assert victim == 8
+
+    def test_sets_isolated(self):
+        cache = self._tiny()
+        cache.install(0)
+        cache.install(1)  # different set
+        assert cache.access(0)
+        assert cache.access(1)
+
+    def test_accesses_sum(self):
+        cache = self._tiny()
+        cache.access(1)
+        cache.install(1)
+        cache.access(1)
+        cache.access(2)
+        assert cache.stats.accesses == cache.stats.hits + cache.stats.misses
+
+    def test_prefetch_efficiency_definition(self):
+        cache = self._tiny()
+        cache.access(1)  # miss, uncovered
+        cache.note_prefetched_miss()
+        cache.access(2)  # miss
+        assert cache.stats.prefetch_efficiency == 0.5
+
+    def test_reset(self):
+        cache = self._tiny()
+        cache.access(1)
+        cache.install(1)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.num_resident == 0
+
+
+class TestPrefetchers:
+    def test_sequential_detects_next_line(self):
+        prefetcher = SequentialPrefetcher()
+        assert prefetcher.observe(10) == []
+        predictions = prefetcher.observe(11)
+        assert 12 in predictions
+
+    def test_sequential_ignores_random(self):
+        prefetcher = SequentialPrefetcher()
+        prefetcher.observe(10)
+        assert prefetcher.observe(500_000) == []
+
+    def test_stride_detection(self):
+        prefetcher = StridePrefetcher(degree=2, min_confidence=1)
+        prefetcher.observe(100)
+        prefetcher.observe(104)  # stride 4 observed
+        predictions = prefetcher.observe(108)  # stride 4 confirmed
+        assert predictions == [112, 116]
+
+    def test_stride_too_large_not_predicted(self):
+        prefetcher = StridePrefetcher(max_stride=8)
+        prefetcher.observe(0)
+        prefetcher.observe(100)
+        assert prefetcher.observe(200) == []
+
+    def test_table_eviction(self):
+        prefetcher = StridePrefetcher(table_size=2)
+        for region in range(5):
+            prefetcher.observe(region * 64)
+        assert len(prefetcher._streams) <= 2
+
+
+class TestHierarchy:
+    def test_sequential_scan_mostly_covered(self):
+        hierarchy = MemoryHierarchy()
+        for i in range(4096):
+            hierarchy.access(i * 8, 8)
+        # After warm-up, sequential misses are prefetch-covered.
+        assert hierarchy.d1.stats.prefetch_efficiency > 0.5
+
+    def test_random_scan_uncovered(self):
+        import random
+
+        rng = random.Random(5)
+        hierarchy = MemoryHierarchy()
+        for _ in range(4096):
+            hierarchy.access(rng.randrange(1 << 30), 8)
+        assert hierarchy.d1.stats.prefetch_efficiency < 0.2
+
+    def test_repeated_access_is_free(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(64, 8)
+        assert hierarchy.access(64, 8) == 0.0
+
+    def test_cold_miss_costs_random_memory_latency(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.access(1 << 20, 8) == costs.L2_MISS_RAND_CYCLES
+
+    def test_l2_hit_after_d1_eviction(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(0, 8)
+        # Push line 0 out of D1 (32 KB) but not out of L2 (2 MB).
+        for i in range(1, 3000):
+            hierarchy.access(i * 64, 8)
+        stall = hierarchy.access(0, 8)
+        assert stall in (
+            costs.L1_MISS_SEQ_CYCLES, costs.L1_MISS_RAND_CYCLES,
+        )
+
+    def test_multi_line_access_charges_each_line(self):
+        hierarchy = MemoryHierarchy()
+        stall = hierarchy.access(0, 256)  # four cold lines
+        assert stall >= costs.L2_MISS_RAND_CYCLES  # at least one miss
+
+    def test_reset(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access(0, 8)
+        hierarchy.reset()
+        assert hierarchy.stats.total_stall_cycles == 0
+        assert hierarchy.d1.stats.accesses == 0
+
+    @given(st.lists(st.integers(0, 1 << 24), min_size=1, max_size=500))
+    @settings(max_examples=20, deadline=None)
+    def test_accounting_invariant(self, addrs):
+        hierarchy = MemoryHierarchy()
+        for addr in addrs:
+            hierarchy.access(addr, 8)
+        d1 = hierarchy.d1.stats
+        l2 = hierarchy.l2.stats
+        assert d1.accesses >= len(addrs)
+        assert d1.hits + d1.misses == d1.accesses
+        assert l2.accesses == d1.misses
+        assert d1.prefetched_misses <= d1.misses
+        assert l2.prefetched_misses <= l2.misses
+        assert hierarchy.stats.total_stall_cycles >= 0
+
+
+class TestProbe:
+    def test_null_probe_is_inert(self):
+        NULL_PROBE.call()
+        NULL_PROBE.instr(10)
+        NULL_PROBE.load(0, 8)
+        assert NULL_PROBE.enabled is False
+
+    def test_call_counts_instructions(self):
+        probe = Probe()
+        probe.call(3)
+        assert probe.function_calls == 3
+        assert probe.instructions == 3 * costs.CALL_INSTRUCTIONS
+
+    def test_load_counts_access_and_instruction(self):
+        probe = Probe()
+        probe.load(0, 8)
+        assert probe.data_accesses == 1
+        assert probe.instructions == 1
+
+    def test_cpi_floor(self):
+        probe = Probe()
+        probe.instr(10_000)
+        assert probe.cpi == pytest.approx(
+            costs.IDEAL_CPI
+            + costs.BASE_RESOURCE_STALL_PER_100_INSTR / 100.0,
+        )
+
+    def test_snapshot_fields(self):
+        probe = Probe()
+        probe.call(2)
+        probe.load(0, 8)
+        report = snapshot("x", probe)
+        assert report.label == "x"
+        assert report.function_calls == 2
+        assert report.d1_accesses == 1
+        assert report.total_cycles > 0
+        assert report.model_seconds > 0
+
+    def test_address_space_isolates_files(self):
+        assert AddressSpace.page_addr(1, 0) != AddressSpace.page_addr(2, 0)
+        space = AddressSpace()
+        first = space.alloc(100)
+        second = space.alloc(100)
+        assert second >= first + 100
+        assert first % costs.CACHE_LINE == 0

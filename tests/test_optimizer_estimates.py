@@ -1,0 +1,183 @@
+"""Tests for optimizer cost estimation, join ordering, and the
+breakdown/report machinery of the profiling harness."""
+
+import pytest
+
+from repro.bench.reporting import ExperimentResult, format_value
+from repro.memsim import costs
+from repro.memsim.probe import Probe, snapshot
+from repro.plan.descriptors import Join, ScanStage
+from repro.plan.optimizer import Optimizer, PlannerConfig, _next_pow2
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.storage import Catalog, Column, INT, Schema
+
+
+def plan_for(catalog, sql, **config):
+    bound = Binder(catalog).bind(parse(sql))
+    return Optimizer(catalog, PlannerConfig(**config)).plan(bound)
+
+
+class TestJoinOrdering:
+    def _chain_catalog(self, sizes):
+        """Tables a, b, c of the given sizes, a–b and b–c joinable."""
+        catalog = Catalog()
+        for name, rows in zip("abc", sizes):
+            table = catalog.create_table(
+                name,
+                Schema([Column(f"{name}k", INT), Column(f"{name}v", INT)]),
+            )
+            table.load_rows((i % 10, i) for i in range(rows))
+        catalog.analyze()
+        return catalog
+
+    def test_smallest_pair_joined_first(self):
+        catalog = self._chain_catalog((5_000, 100, 100))
+        plan = plan_for(
+            catalog,
+            "SELECT a.av FROM a, b, c WHERE a.ak = b.bk AND b.bk = c.ck",
+            enable_join_teams=False,
+        )
+        joins = [op for op in plan.operators if isinstance(op, Join)]
+        first = joins[0]
+        left_scan = plan.op(first.left_op)
+        right_scan = plan.op(first.right_op)
+        bindings = {left_scan.binding, right_scan.binding}
+        # b ⋈ c (100 x 100) is far cheaper than anything touching a.
+        assert bindings == {"b", "c"}
+
+    def test_filters_shrink_estimates(self):
+        catalog = self._chain_catalog((5_000, 5_000, 100))
+        plan = plan_for(
+            catalog,
+            "SELECT a.av FROM a, b, c WHERE a.ak = b.bk AND b.bk = c.ck "
+            "AND a.av = 7",
+            enable_join_teams=False,
+        )
+        joins = [op for op in plan.operators if isinstance(op, Join)]
+        first_bindings = {
+            plan.op(joins[0].left_op).binding,
+            plan.op(joins[0].right_op).binding,
+        }
+        # The equality filter makes `a` tiny: a should join early.
+        assert "a" in first_bindings
+
+    def test_next_pow2(self):
+        assert _next_pow2(1) == 1
+        assert _next_pow2(2) == 2
+        assert _next_pow2(3) == 4
+        assert _next_pow2(65) == 128
+
+    def test_partition_count_scales_with_input(self):
+        small = PlannerConfig()
+        assert small.fits_l2(1000)
+        assert not small.fits_l2(10 * 1024 * 1024)
+
+    def test_residual_equijoin_between_joined_pair(self):
+        """Two join predicates between the same pair: one drives the
+        join, the other must still be enforced."""
+        catalog = Catalog()
+        for name in ("x", "y"):
+            table = catalog.create_table(
+                name,
+                Schema([Column("k1", INT), Column("k2", INT),
+                        Column("v", INT)]),
+            )
+            table.load_rows((i % 4, i % 3, i) for i in range(60))
+        catalog.analyze()
+        from repro.core.engine import HiqueEngine
+        from repro.plan.reference import evaluate
+
+        sql = ("SELECT x.v, y.v FROM x, y WHERE x.k1 = y.k1 "
+               "AND x.k2 = y.k2")
+        bound = Binder(catalog).bind(parse(sql))
+        expected = sorted(map(repr, evaluate(bound)))
+        got = sorted(map(repr, HiqueEngine(catalog).execute(sql)))
+        assert got == expected
+
+
+class TestScanEstimates:
+    def test_projection_excludes_filter_only_columns(self, simple_catalog):
+        plan = plan_for(
+            simple_catalog, "SELECT b FROM t WHERE a < 10 AND c = 'x1'"
+        )
+        scan = plan.operators[0]
+        assert isinstance(scan, ScanStage)
+        staged = {slot.column for slot in scan.output_layout.slots}
+        assert staged == {"b"}
+
+    def test_join_key_always_staged(self, simple_catalog):
+        plan = plan_for(
+            simple_catalog,
+            "SELECT t.a FROM t, u WHERE t.k = u.k",
+        )
+        for operator in plan.operators:
+            if isinstance(operator, ScanStage) and operator.binding == "u":
+                staged = {s.column for s in operator.output_layout.slots}
+                assert "k" in staged
+
+
+class TestBreakdownMachinery:
+    def test_snapshot_totals_are_additive(self):
+        probe = Probe()
+        probe.call(100)
+        probe.instr(10_000)
+        for i in range(1_000):
+            probe.load(i * 64, 8)
+        report = snapshot("x", probe)
+        assert report.total_cycles == pytest.approx(
+            report.instruction_cycles
+            + report.resource_stall_cycles
+            + report.d1_stall_cycles
+            + report.l2_stall_cycles
+        )
+        assert report.model_seconds == pytest.approx(
+            report.total_cycles / costs.CPU_FREQUENCY_HZ
+        )
+
+    def test_cpi_never_below_ideal(self):
+        probe = Probe()
+        probe.instr(1000)
+        for i in range(100):
+            probe.load(i * 64, 8)
+        assert probe.cpi >= costs.IDEAL_CPI
+
+    def test_format_value(self):
+        assert format_value(0.12345) == "0.1235"
+        assert format_value(3.14159) == "3.142"
+        assert format_value(12345.6) == "12,346"
+        assert format_value(7) == "7"
+        assert format_value("x") == "x"
+
+    def test_experiment_result_unknown_row(self):
+        result = ExperimentResult("x", ["A"])
+        with pytest.raises(KeyError):
+            result.row_by("A", "missing")
+
+
+class TestVersionOrderingOnProfiles:
+    """The headline invariant of Figures 5 and 6 as a single test: event
+    counts fall monotonically from generic iterators to HIQUE."""
+
+    def test_fig5_monotone_collapse(self):
+        from repro.bench.experiments import fig5
+
+        results = fig5("tiny")
+        metrics = results[1]  # Fig 5(c)
+        instr = metrics.column("Retired instr (%)")
+        calls = metrics.column("Function calls (%)")
+        assert instr[0] == 100.0
+        assert instr[-1] < instr[0] * 0.5
+        assert calls[-1] < 1.0
+        # Generic >= optimized within each implementation family.
+        assert instr[1] <= instr[0]
+        assert instr[3] <= instr[2]
+
+    def test_fig6_monotone_collapse(self):
+        from repro.bench.experiments import fig6
+
+        results = fig6("tiny")
+        metrics = results[1]  # Fig 6(c)
+        calls = metrics.column("Function calls (%)")
+        assert calls[0] == 100.0
+        assert calls[-1] < 5.0

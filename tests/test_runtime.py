@@ -1,0 +1,192 @@
+"""Tests for the generated-code runtime helpers (repro.core.runtime)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import runtime
+
+
+def reference_join(left, right, lk, rk):
+    return [
+        lrow + rrow
+        for lrow in left
+        for rrow in right
+        if lrow[lk] == rrow[rk]
+    ]
+
+
+def sort_canonical(rows):
+    return sorted(map(repr, rows))
+
+
+class TestSorting:
+    def test_sort_rows_single_key(self):
+        rows = [(3, "c"), (1, "a"), (2, "b")]
+        assert runtime.sort_rows(rows, (0,)) == [
+            (1, "a"), (2, "b"), (3, "c"),
+        ]
+
+    def test_sort_rows_multi_key(self):
+        rows = [(1, 2), (0, 9), (1, 1)]
+        assert runtime.sort_rows(rows, (0, 1)) == [(0, 9), (1, 1), (1, 2)]
+
+    def test_sort_rows_mixed_directions(self):
+        rows = [(1, "a"), (2, "a"), (1, "b")]
+        out = runtime.sort_rows_mixed(rows, [(1, True), (0, False)])
+        assert out == [(2, "a"), (1, "a"), (1, "b")]
+
+
+class TestPartitioning:
+    def test_coarse_partition_covers_all_rows(self):
+        rows = [(i, i * 2) for i in range(100)]
+        parts = runtime.partition_rows(rows, 0, 8)
+        assert sum(len(p) for p in parts) == 100
+        for part in parts:
+            for row in part:
+                assert hash(row[0]) & 7 == parts.index(part)
+
+    def test_coarse_partition_non_pow2(self):
+        rows = [(i,) for i in range(50)]
+        parts = runtime.partition_rows(rows, 0, 3)
+        assert sum(len(p) for p in parts) == 50
+
+    def test_fine_partition_groups_by_value(self):
+        rows = [(i % 4, i) for i in range(40)]
+        parts = runtime.fine_partition_rows(rows, 0)
+        assert set(parts) == {0, 1, 2, 3}
+        assert all(
+            all(row[0] == key for row in bucket)
+            for key, bucket in parts.items()
+        )
+
+    def test_partition_sort(self):
+        rows = [(i % 8, 100 - i) for i in range(64)]
+        parts = runtime.partition_sort_rows(rows, 0, (0, 1), 4)
+        for part in parts:
+            assert part == sorted(part)
+
+
+class TestJoins:
+    @given(
+        st.lists(st.integers(0, 10), max_size=60),
+        st.lists(st.integers(0, 10), max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_join_matches_nested_loops(self, lkeys, rkeys):
+        left = sorted((k, i) for i, k in enumerate(lkeys))
+        right = sorted((k, i * 10) for i, k in enumerate(rkeys))
+        got = runtime.merge_join(left, right, 0, 0)
+        assert sort_canonical(got) == sort_canonical(
+            reference_join(left, right, 0, 0)
+        )
+
+    def test_merge_join_backtracks_duplicates(self):
+        left = [(1, "l0"), (1, "l1")]
+        right = [(1, "r0"), (1, "r1"), (1, "r2")]
+        assert len(runtime.merge_join(left, right, 0, 0)) == 6
+
+    def test_hybrid_join_equivalent(self):
+        rng = random.Random(1)
+        left = [(rng.randrange(20), i) for i in range(200)]
+        right = [(rng.randrange(20), i) for i in range(150)]
+        left_parts = runtime.partition_rows(left, 0, 8)
+        right_parts = runtime.partition_rows(right, 0, 8)
+        got = runtime.hybrid_join(left_parts, right_parts, 0, 0,
+                                  presorted=False)
+        assert sort_canonical(got) == sort_canonical(
+            reference_join(left, right, 0, 0)
+        )
+
+    def test_fine_hash_join_equivalent(self):
+        rng = random.Random(2)
+        left = [(rng.randrange(10), i) for i in range(100)]
+        right = [(rng.randrange(10), i) for i in range(80)]
+        got = runtime.fine_hash_join(
+            runtime.fine_partition_rows(left, 0),
+            runtime.fine_partition_rows(right, 0),
+        )
+        assert sort_canonical(got) == sort_canonical(
+            reference_join(left, right, 0, 0)
+        )
+
+    def test_nested_loops_is_cartesian(self):
+        left = [(1,), (2,)]
+        right = [(10,), (20,), (30,)]
+        assert len(runtime.nested_loops_join(left, right)) == 6
+
+    @given(
+        st.lists(st.integers(0, 5), min_size=0, max_size=30),
+        st.lists(st.integers(0, 5), min_size=0, max_size=30),
+        st.lists(st.integers(0, 5), min_size=0, max_size=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_multiway_merge_matches_pairwise(self, k1, k2, k3):
+        inputs = [
+            sorted((k, f"a{i}") for i, k in enumerate(k1)),
+            sorted((k, f"b{i}") for i, k in enumerate(k2)),
+            sorted((k, f"c{i}") for i, k in enumerate(k3)),
+        ]
+        got = runtime.multiway_merge_join(inputs, (0, 0, 0))
+        step = runtime.merge_join(inputs[0], inputs[1], 0, 0)
+        expected = runtime.merge_join(step, inputs[2], 0, 0)
+        assert sort_canonical(got) == sort_canonical(expected)
+
+
+class TestAggregation:
+    def _helpers(self):
+        def init():
+            return [0, 0]
+
+        def update(state, row):
+            state[0] += row[1]
+            state[1] += 1
+
+        def finalize(key, state):
+            return key + (state[0], state[1])
+
+        return init, update, finalize
+
+    def test_sorted_group_scan(self):
+        init, update, finalize = self._helpers()
+        rows = sorted((i % 3, i) for i in range(30))
+        out = runtime.sorted_group_scan(rows, (0,), init, update, finalize)
+        assert len(out) == 3
+        total = sum(row[1] for row in out)
+        assert total == sum(range(30))
+
+    def test_sorted_group_scan_empty(self):
+        init, update, finalize = self._helpers()
+        assert runtime.sorted_group_scan([], (0,), init, update, finalize) \
+            == []
+
+    def test_hash_group_aggregate_first_seen_order(self):
+        init, update, finalize = self._helpers()
+        rows = [(2, 1), (1, 1), (2, 1), (3, 1)]
+        out = runtime.hash_group_aggregate(
+            rows, lambda r: (r[0],), init, update, finalize
+        )
+        assert [row[0] for row in out] == [2, 1, 3]
+
+    def test_limit_rows(self):
+        assert runtime.limit_rows([1, 2, 3], 2) == [1, 2]
+        assert runtime.limit_rows([1], 5) == [1]
+
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 100)),
+                    max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_group_scan_matches_dict_reference(self, rows):
+        init, update, finalize = self._helpers()
+        sorted_rows = sorted(rows)
+        got = runtime.sorted_group_scan(
+            sorted_rows, (0,), init, update, finalize
+        )
+        expected = {}
+        for key, value in rows:
+            entry = expected.setdefault(key, [0, 0])
+            entry[0] += value
+            entry[1] += 1
+        assert {
+            row[0]: (row[1], row[2]) for row in got
+        } == {k: tuple(v) for k, v in expected.items()}

@@ -1,0 +1,190 @@
+"""Tests for name resolution and type checking (the binder)."""
+
+import pytest
+
+from repro.errors import BindError, UnsupportedSqlError
+from repro.sql.binder import Binder
+from repro.sql.bound import (
+    BoundAggregate,
+    BoundColumn,
+    bindings_in,
+    columns_in,
+)
+from repro.sql.parser import parse
+from repro.storage.types import DOUBLE, INT
+
+
+@pytest.fixture()
+def binder(simple_catalog):
+    return Binder(simple_catalog)
+
+
+def bind(binder, sql):
+    return binder.bind(parse(sql))
+
+
+class TestTableBinding:
+    def test_alias_becomes_binding(self, binder):
+        bound = bind(binder, "SELECT x.a FROM t x")
+        assert bound.tables[0].binding == "x"
+
+    def test_duplicate_binding_rejected(self, binder):
+        with pytest.raises(BindError):
+            bind(binder, "SELECT a FROM t, t")
+
+    def test_self_join_with_aliases(self, binder):
+        bound = bind(
+            binder, "SELECT x.a, y.a FROM t x, t y WHERE x.k = y.k"
+        )
+        assert {b.binding for b in bound.tables} == {"x", "y"}
+        assert len(bound.joins) == 1
+
+
+class TestColumnResolution:
+    def test_bare_column(self, binder):
+        bound = bind(binder, "SELECT a FROM t")
+        expr = bound.select[0].expr
+        assert expr == BoundColumn("t", "a", INT)
+
+    def test_qualified_column(self, binder):
+        bound = bind(binder, "SELECT t.b FROM t")
+        assert bound.select[0].expr.dtype == DOUBLE
+
+    def test_unknown_column_raises(self, binder):
+        with pytest.raises(BindError):
+            bind(binder, "SELECT nope FROM t")
+
+    def test_ambiguous_column_raises(self, binder):
+        with pytest.raises(BindError):
+            bind(binder, "SELECT k FROM t, u WHERE t.k = u.k")
+
+    def test_unknown_table_qualifier_raises(self, binder):
+        with pytest.raises(BindError):
+            bind(binder, "SELECT z.a FROM t")
+
+    def test_select_star_expands(self, binder):
+        bound = bind(binder, "SELECT * FROM t")
+        assert bound.output_names() == ["a", "b", "c", "k"]
+
+
+class TestWhereClassification:
+    def test_single_table_predicate_is_filter(self, binder):
+        bound = bind(binder, "SELECT a FROM t WHERE a < 5")
+        assert len(bound.filters["t"]) == 1
+        assert not bound.joins
+
+    def test_equi_join_detected(self, binder):
+        bound = bind(binder, "SELECT t.a FROM t, u WHERE t.k = u.k")
+        assert len(bound.joins) == 1
+        assert bound.joins[0].bindings() == ("t", "u")
+
+    def test_cross_table_inequality_unsupported(self, binder):
+        with pytest.raises(UnsupportedSqlError):
+            bind(binder, "SELECT t.a FROM t, u WHERE t.k < u.k")
+
+    def test_cross_table_expression_equality_unsupported(self, binder):
+        with pytest.raises(UnsupportedSqlError):
+            bind(binder, "SELECT t.a FROM t, u WHERE t.k + 1 = u.k")
+
+    def test_incomparable_types_raise(self, binder):
+        with pytest.raises(BindError):
+            bind(binder, "SELECT a FROM t WHERE a = 'text'")
+
+    def test_filter_on_expression(self, binder):
+        bound = bind(binder, "SELECT a FROM t WHERE a + k < 10")
+        assert len(bound.filters["t"]) == 1
+
+
+class TestSelectClassification:
+    def test_aggregate_output_kind(self, binder):
+        bound = bind(binder, "SELECT sum(a) AS s FROM t")
+        assert bound.select[0].kind == "aggregate"
+        assert bound.has_aggregates
+
+    def test_group_output_kind(self, binder):
+        bound = bind(binder, "SELECT c, count(*) AS n FROM t GROUP BY c")
+        assert bound.select[0].kind == "group"
+        assert bound.select[1].kind == "aggregate"
+
+    def test_plain_output_kind(self, binder):
+        bound = bind(binder, "SELECT a FROM t")
+        assert bound.select[0].kind == "plain"
+
+    def test_ungrouped_column_with_aggregate_raises(self, binder):
+        with pytest.raises(BindError):
+            bind(binder, "SELECT a, sum(b) FROM t GROUP BY c")
+
+    def test_mixed_aggregate_scalar_expression_raises(self, binder):
+        with pytest.raises(UnsupportedSqlError):
+            bind(binder, "SELECT sum(a) + k FROM t GROUP BY k")
+
+    def test_arithmetic_over_two_aggregates_ok(self, binder):
+        bound = bind(binder, "SELECT sum(a) / count(*) AS m FROM t")
+        assert bound.select[0].kind == "aggregate"
+
+    def test_nested_aggregate_raises(self, binder):
+        with pytest.raises((UnsupportedSqlError, BindError)):
+            bind(binder, "SELECT sum(count(*)) FROM t")
+
+    def test_sum_type_propagation(self, binder):
+        bound = bind(binder, "SELECT sum(a) AS si, sum(b) AS sd FROM t")
+        assert bound.select[0].dtype == INT
+        assert bound.select[1].dtype == DOUBLE
+
+    def test_avg_is_double(self, binder):
+        bound = bind(binder, "SELECT avg(a) AS m FROM t")
+        assert bound.select[0].dtype == DOUBLE
+
+    def test_count_is_int(self, binder):
+        bound = bind(binder, "SELECT count(*) AS n FROM t")
+        assert bound.select[0].dtype == INT
+
+    def test_sum_of_string_raises(self, binder):
+        with pytest.raises(BindError):
+            bind(binder, "SELECT sum(c) FROM t")
+
+    def test_default_output_names(self, binder):
+        bound = bind(binder, "SELECT a, sum(b), count(*) FROM t GROUP BY a")
+        assert bound.output_names() == ["a", "sum_b", "count_star"]
+
+
+class TestOrderByBinding:
+    def test_order_by_alias(self, binder):
+        bound = bind(
+            binder,
+            "SELECT c, sum(b) AS total FROM t GROUP BY c ORDER BY total "
+            "DESC",
+        )
+        assert bound.order_by == [(1, False)]
+
+    def test_order_by_selected_column(self, binder):
+        bound = bind(binder, "SELECT a, b FROM t ORDER BY b, a DESC")
+        assert bound.order_by == [(1, True), (0, False)]
+
+    def test_order_by_matching_expression(self, binder):
+        bound = bind(
+            binder,
+            "SELECT c, sum(b) FROM t GROUP BY c ORDER BY sum(b)",
+        )
+        assert bound.order_by == [(1, True)]
+
+    def test_order_by_unselected_raises(self, binder):
+        with pytest.raises(UnsupportedSqlError):
+            bind(binder, "SELECT a FROM t ORDER BY b")
+
+
+class TestBoundHelpers:
+    def test_columns_in_walks_expressions(self, binder):
+        bound = bind(binder, "SELECT a + k AS s FROM t")
+        columns = columns_in(bound.select[0].expr)
+        assert [c.column for c in columns] == ["a", "k"]
+
+    def test_bindings_in(self, binder):
+        bound = bind(binder, "SELECT t.a FROM t, u WHERE t.k = u.k")
+        assert bindings_in(bound.joins[0].left) == {"t"}
+
+    def test_aggregate_argument_bound(self, binder):
+        bound = bind(binder, "SELECT sum(a + 1) AS s FROM t")
+        aggregate = bound.select[0].expr
+        assert isinstance(aggregate, BoundAggregate)
+        assert bindings_in(aggregate.argument) == {"t"}

@@ -1,0 +1,222 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import LexerError, ParseError, UnsupportedSqlError
+from repro.sql.ast import (
+    Aggregate,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Literal,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+from repro.storage.types import date_to_ordinal
+
+
+class TestLexer:
+    def test_keywords_lowercased(self):
+        tokens = tokenize("SELECT a FROM t")
+        assert tokens[0].kind == "keyword"
+        assert tokens[0].text == "select"
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("SELECT Foo FROM t")
+        assert tokens[1].text == "Foo"
+
+    def test_numbers(self):
+        tokens = tokenize("1 23.5 0.1")
+        assert [t.text for t in tokens[:-1]] == ["1", "23.5", "0.1"]
+
+    def test_qualified_name_not_a_float(self):
+        tokens = tokenize("t1.a")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == ["ident", "op", "ident"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'BUILDING'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "BUILDING"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT a -- comment\nFROM t")
+        assert [t.text for t in tokens[:-1]] == ["select", "a", "from", "t"]
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <= b >= c <> d != e")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<=", ">=", "<>", "<>"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT @")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        query = parse("SELECT a, b FROM t")
+        assert len(query.select_items) == 2
+        assert query.tables[0].name == "t"
+
+    def test_select_star(self):
+        query = parse("SELECT * FROM t")
+        assert isinstance(query.select_items[0].expr, ColumnRef)
+        assert query.select_items[0].expr.name == "*"
+
+    def test_alias_with_as(self):
+        query = parse("SELECT a AS x FROM t")
+        assert query.select_items[0].alias == "x"
+
+    def test_alias_without_as(self):
+        query = parse("SELECT a x FROM t")
+        assert query.select_items[0].alias == "x"
+
+    def test_table_alias(self):
+        query = parse("SELECT a FROM orders o")
+        assert query.tables[0].alias == "o"
+        assert query.tables[0].binding_name == "o"
+
+    def test_where_conjunction(self):
+        query = parse("SELECT a FROM t WHERE a < 3 AND b = 'x'")
+        assert len(query.where) == 2
+        assert all(isinstance(c, Comparison) for c in query.where)
+
+    def test_group_by(self):
+        query = parse("SELECT a, count(*) FROM t GROUP BY a")
+        assert [c.name for c in query.group_by] == ["a"]
+
+    def test_order_by_directions(self):
+        query = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        assert [o.ascending for o in query.order_by] == [False, True, True]
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_trailing_semicolon_ok(self):
+        assert parse("SELECT a FROM t;").tables[0].name == "t"
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t WHERE")
+
+    def test_nested_select_unsupported(self):
+        with pytest.raises((UnsupportedSqlError, ParseError)):
+            parse("SELECT a FROM t; SELECT b FROM u")
+
+    def test_missing_from_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        query = parse("SELECT a + b * c FROM t")
+        expr = query.select_items[0].expr
+        assert isinstance(expr, Arithmetic)
+        assert expr.op == "+"
+        assert isinstance(expr.right, Arithmetic)
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        query = parse("SELECT (a + b) * c FROM t")
+        expr = query.select_items[0].expr
+        assert expr.op == "*"
+        assert isinstance(expr.left, Arithmetic)
+
+    def test_unary_minus_literal(self):
+        query = parse("SELECT -5 FROM t")
+        assert query.select_items[0].expr == Literal(-5, "int")
+
+    def test_unary_minus_column(self):
+        query = parse("SELECT -a FROM t")
+        expr = query.select_items[0].expr
+        assert isinstance(expr, Arithmetic)
+        assert expr.op == "-"
+
+    def test_float_literal(self):
+        assert parse("SELECT 1.5 FROM t").select_items[0].expr == Literal(
+            1.5, "double"
+        )
+
+    def test_aggregates(self):
+        query = parse(
+            "SELECT sum(a), count(*), avg(b), min(c), max(c) FROM t"
+        )
+        funcs = [item.expr.func for item in query.select_items]
+        assert funcs == ["sum", "count", "avg", "min", "max"]
+
+    def test_count_star_has_no_argument(self):
+        expr = parse("SELECT count(*) FROM t").select_items[0].expr
+        assert isinstance(expr, Aggregate)
+        assert expr.argument is None
+
+    def test_aggregate_of_expression(self):
+        expr = parse(
+            "SELECT sum(price * (1 - discount)) FROM t"
+        ).select_items[0].expr
+        assert isinstance(expr.argument, Arithmetic)
+
+    def test_distinct_aggregate_unsupported(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse("SELECT count(DISTINCT a) FROM t")
+
+    def test_qualified_column(self):
+        expr = parse("SELECT t.a FROM t").select_items[0].expr
+        assert expr == ColumnRef("a", "t")
+
+
+class TestDateLiterals:
+    def test_date_literal_folds_to_ordinal(self):
+        expr = parse("SELECT a FROM t WHERE d <= DATE '1998-09-02'").where[
+            0
+        ].right
+        assert expr == Literal(date_to_ordinal("1998-09-02"), "date")
+
+    def test_date_minus_interval_days(self):
+        expr = parse(
+            "SELECT a FROM t WHERE d <= DATE '1998-12-01' - "
+            "INTERVAL '90' DAY"
+        ).where[0].right
+        assert expr == Literal(date_to_ordinal("1998-09-02"), "date")
+
+    def test_date_plus_interval_months(self):
+        expr = parse(
+            "SELECT a FROM t WHERE d < DATE '1993-10-01' + "
+            "INTERVAL '3' MONTH"
+        ).where[0].right
+        assert expr == Literal(date_to_ordinal("1994-01-01"), "date")
+
+    def test_interval_year(self):
+        expr = parse(
+            "SELECT a FROM t WHERE d < DATE '1993-10-01' + "
+            "INTERVAL '1' YEAR"
+        ).where[0].right
+        assert expr == Literal(date_to_ordinal("1994-10-01"), "date")
+
+    def test_month_end_clamped(self):
+        expr = parse(
+            "SELECT a FROM t WHERE d < DATE '1993-01-31' + "
+            "INTERVAL '1' MONTH"
+        ).where[0].right
+        assert expr == Literal(date_to_ordinal("1993-02-28"), "date")
+
+    def test_bad_date_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t WHERE d < DATE 'not-a-date'")
+
+    def test_interval_without_date_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a + INTERVAL '3' DAY FROM t")
+
+    def test_interval_bad_unit_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t WHERE d < DATE '1993-01-01' + "
+                  "INTERVAL '3' HOUR")

@@ -1,0 +1,253 @@
+"""Tests for heap files, the buffer manager, tables and the catalogue."""
+
+import pytest
+
+from repro.errors import BufferPoolError, CatalogError, StorageError
+from repro.storage.buffer import BufferManager
+from repro.storage.catalog import Catalog
+from repro.storage.heapfile import DiskFile, MemoryFile
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.schema import Column, Schema
+from repro.storage.table import Table, table_from_rows
+from repro.storage.types import DOUBLE, INT, char
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema([Column("a", INT), Column("b", DOUBLE)])
+
+
+def _blank_page(schema) -> bytes:
+    return bytes(Page(schema).data)
+
+
+class TestMemoryFile:
+    def test_append_and_read(self, schema):
+        file = MemoryFile()
+        page_no = file.append_page(_blank_page(schema))
+        assert page_no == 0
+        assert file.num_pages == 1
+        assert len(file.read_page(0)) == PAGE_SIZE
+
+    def test_read_returns_copy(self, schema):
+        file = MemoryFile()
+        file.append_page(_blank_page(schema))
+        copy = file.read_page(0)
+        copy[100] = 255
+        assert file.read_page(0)[100] == 0
+
+    def test_raw_page_is_shared(self, schema):
+        file = MemoryFile()
+        file.append_page(_blank_page(schema))
+        raw = file.raw_page(0)
+        raw[100] = 77
+        assert file.raw_page(0)[100] == 77
+
+    def test_out_of_range_raises(self, schema):
+        file = MemoryFile()
+        with pytest.raises(StorageError):
+            file.read_page(0)
+
+    def test_bad_page_size_rejected(self):
+        file = MemoryFile()
+        with pytest.raises(StorageError):
+            file.append_page(b"tiny")
+
+    def test_file_ids_are_unique(self):
+        assert MemoryFile().file_id != MemoryFile().file_id
+
+
+class TestDiskFile:
+    def test_roundtrip(self, schema, tmp_path):
+        path = str(tmp_path / "t.dat")
+        file = DiskFile(path)
+        file.append_page(_blank_page(schema))
+        data = bytearray(_blank_page(schema))
+        data[50] = 9
+        file.write_page(0, bytes(data))
+        assert file.read_page(0)[50] == 9
+        file.close()
+
+    def test_reopen_preserves_pages(self, schema, tmp_path):
+        path = str(tmp_path / "t.dat")
+        file = DiskFile(path)
+        file.append_page(_blank_page(schema))
+        file.append_page(_blank_page(schema))
+        file.close()
+        reopened = DiskFile(path, create=False)
+        assert reopened.num_pages == 2
+        reopened.close()
+
+    def test_corrupt_size_rejected(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(StorageError):
+            DiskFile(str(path))
+
+
+class TestBufferManager:
+    def test_miss_then_hit(self, schema):
+        buffer = BufferManager(capacity=4)
+        file = MemoryFile()
+        file.append_page(_blank_page(schema))
+        buffer.scan_page(file, 0, schema)
+        buffer.scan_page(file, 0, schema)
+        assert buffer.stats.misses == 1
+        assert buffer.stats.hits == 1
+
+    def test_lru_eviction_order(self, schema):
+        buffer = BufferManager(capacity=2)
+        file = MemoryFile()
+        for _ in range(3):
+            file.append_page(_blank_page(schema))
+        buffer.scan_page(file, 0, schema)
+        buffer.scan_page(file, 1, schema)
+        buffer.scan_page(file, 0, schema)  # page 0 becomes MRU
+        buffer.scan_page(file, 2, schema)  # evicts page 1 (LRU)
+        resident = {page_no for _fid, page_no in buffer.resident_keys()}
+        assert resident == {0, 2}
+        assert buffer.stats.evictions == 1
+
+    def test_pinned_pages_survive_eviction(self, schema):
+        buffer = BufferManager(capacity=2)
+        file = MemoryFile()
+        for _ in range(3):
+            file.append_page(_blank_page(schema))
+        buffer.get_page(file, 0, schema)  # pinned
+        buffer.scan_page(file, 1, schema)
+        buffer.scan_page(file, 2, schema)  # must evict page 1, not 0
+        resident = {page_no for _fid, page_no in buffer.resident_keys()}
+        assert 0 in resident
+
+    def test_all_pinned_raises(self, schema):
+        buffer = BufferManager(capacity=1)
+        file = MemoryFile()
+        file.append_page(_blank_page(schema))
+        file.append_page(_blank_page(schema))
+        buffer.get_page(file, 0, schema)
+        with pytest.raises(BufferPoolError):
+            buffer.scan_page(file, 1, schema)
+
+    def test_unpin_unknown_raises(self, schema):
+        buffer = BufferManager(capacity=2)
+        file = MemoryFile()
+        file.append_page(_blank_page(schema))
+        with pytest.raises(BufferPoolError):
+            buffer.unpin(file, 0)
+
+    def test_dirty_writeback_on_eviction(self, schema, tmp_path):
+        buffer = BufferManager(capacity=1)
+        file = DiskFile(str(tmp_path / "d.dat"))
+        file.append_page(_blank_page(schema))
+        file.append_page(_blank_page(schema))
+        page = buffer.get_page(file, 0, schema)
+        page.insert_row((1, 2.0))
+        buffer.unpin(file, 0, dirty=True)
+        buffer.scan_page(file, 1, schema)  # evicts and writes back page 0
+        assert buffer.stats.writebacks == 1
+        fresh = Page(schema, file.read_page(0))
+        assert fresh.read(0) == (1, 2.0)
+        file.close()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StorageError):
+            BufferManager(capacity=0)
+
+    def test_hit_ratio(self, schema):
+        buffer = BufferManager(capacity=4)
+        file = MemoryFile()
+        file.append_page(_blank_page(schema))
+        for _ in range(4):
+            buffer.scan_page(file, 0, schema)
+        assert buffer.stats.hit_ratio == 0.75
+
+
+class TestTable:
+    def test_append_and_scan(self, schema):
+        table = Table("t", schema)
+        for i in range(5):
+            table.append((i, i * 2.0))
+        assert table.num_rows == 5
+        assert list(table.scan_rows()) == [(i, i * 2.0) for i in range(5)]
+
+    def test_load_rows_spans_pages(self, schema):
+        table = Table("t", schema)
+        n = 1000
+        table.load_rows((i, 0.0) for i in range(n))
+        assert table.num_rows == n
+        assert table.num_pages > 1
+        assert sum(1 for _ in table.scan_rows()) == n
+
+    def test_row_at(self, schema):
+        table = table_from_rows("t", schema, [(i, 0.0) for i in range(600)])
+        page = table.read_page(1)
+        assert table.row_at(1, 0) == page.read(0)
+
+    def test_truncate(self, schema):
+        table = table_from_rows("t", schema, [(1, 1.0), (2, 2.0)])
+        table.truncate()
+        assert table.num_rows == 0
+        assert list(table.scan_rows()) == []
+
+    def test_schema_gets_qualified(self, schema):
+        table = Table("orders", schema)
+        assert table.schema.columns[0].table == "orders"
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, schema):
+        catalog = Catalog()
+        catalog.create_table("t", schema)
+        assert catalog.has_table("T")  # case-insensitive
+        assert catalog.table("t").name == "t"
+
+    def test_duplicate_rejected(self, schema):
+        catalog = Catalog()
+        catalog.create_table("t", schema)
+        with pytest.raises(CatalogError):
+            catalog.create_table("T", schema)
+
+    def test_drop(self, schema):
+        catalog = Catalog()
+        catalog.create_table("t", schema)
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+
+    def test_resolve_column_qualified(self, schema):
+        catalog = Catalog()
+        catalog.create_table("t", schema)
+        table, column = catalog.resolve_column("t.a")
+        assert table.name == "t"
+        assert column.name == "a"
+
+    def test_resolve_ambiguous_raises(self, schema):
+        catalog = Catalog()
+        catalog.create_table("t", schema)
+        catalog.create_table("u", schema)
+        with pytest.raises(CatalogError):
+            catalog.resolve_column("a")
+
+    def test_analyze_collects_exact_stats(self):
+        catalog = Catalog()
+        schema = Schema([Column("g", INT), Column("s", char(4))])
+        table = catalog.create_table("t", schema)
+        table.load_rows((i % 5, f"v{i % 3}") for i in range(60))
+        catalog.analyze()
+        stats = catalog.stats("t")
+        assert stats.row_count == 60
+        assert stats.columns["g"].distinct == 5
+        assert stats.columns["s"].distinct == 3
+        assert stats.columns["g"].min_value == 0
+        assert stats.columns["g"].max_value == 4
+
+    def test_distinct_default_is_row_count(self):
+        catalog = Catalog()
+        schema = Schema([Column("g", INT)])
+        table = catalog.create_table("t", schema)
+        table.load_rows((i,) for i in range(10))
+        stats = catalog.stats("t")  # no analyze
+        assert stats.distinct_of("g", default=10) == 10

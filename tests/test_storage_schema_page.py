@@ -1,0 +1,184 @@
+"""Unit and property tests for schemas, the tuple codec, and NSM pages."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CatalogError, PageFullError, StorageError
+from repro.storage.page import HEADER_SIZE, PAGE_SIZE, Page
+from repro.storage.schema import Column, Schema
+from repro.storage.types import DOUBLE, INT, char
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema(
+        [Column("a", INT), Column("b", DOUBLE), Column("c", char(8))]
+    )
+
+
+class TestSchema:
+    def test_tuple_size_is_sum_of_field_sizes(self, schema):
+        assert schema.tuple_size == 8 + 8 + 8
+
+    def test_offsets_are_cumulative(self, schema):
+        assert [schema.offset_of(i) for i in range(3)] == [0, 8, 16]
+
+    def test_encode_decode_roundtrip(self, schema):
+        row = (7, 2.5, "hello")
+        assert schema.decode(schema.encode(row)) == row
+
+    def test_decode_single_field(self, schema):
+        buf = schema.encode((1, 9.5, "zz"))
+        assert schema.decode_field(buf, 0, 1) == 9.5
+        assert schema.decode_field(buf, 0, 2) == "zz"
+
+    def test_index_of_bare_and_qualified(self, schema):
+        qualified = schema.qualify("t")
+        assert qualified.index_of("b") == 1
+        assert qualified.index_of("t.b") == 1
+
+    def test_unknown_column_raises(self, schema):
+        with pytest.raises(CatalogError):
+            schema.index_of("zzz")
+
+    def test_wrong_arity_raises(self, schema):
+        with pytest.raises(StorageError):
+            schema.encode((1, 2.0))
+
+    def test_project_keeps_order(self, schema):
+        projected = schema.project([2, 0])
+        assert [c.name for c in projected] == ["c", "a"]
+
+    def test_concat(self, schema):
+        left = schema.qualify("l")
+        right = Schema([Column("x", INT)]).qualify("r")
+        combined = left.concat(right)
+        assert len(combined) == 4
+        assert combined.index_of("r.x") == 3
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(StorageError):
+            Schema([])
+
+    def test_duplicate_qualified_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([Column("a", INT, "t"), Column("a", INT, "t")])
+
+    def test_duplicate_bare_names_allowed_with_tables(self):
+        schema = Schema([Column("a", INT, "t"), Column("a", INT, "u")])
+        assert schema.index_of("t.a") == 0
+        assert schema.index_of("u.a") == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-(2**62), 2**62),
+                st.floats(allow_nan=False, allow_infinity=False,
+                          width=64),
+                st.text(
+                    alphabet=st.characters(
+                        codec="ascii", exclude_characters=" ",
+                        min_codepoint=33,
+                    ),
+                    max_size=8,
+                ),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, rows):
+        schema = Schema(
+            [Column("a", INT), Column("b", DOUBLE), Column("c", char(8))]
+        )
+        for row in rows:
+            assert schema.decode(schema.encode(row)) == row
+
+
+class TestPage:
+    def test_new_page_is_empty(self, schema):
+        page = Page(schema)
+        assert page.num_tuples == 0
+        assert len(page.data) == PAGE_SIZE
+
+    def test_capacity_formula(self, schema):
+        page = Page(schema)
+        assert page.capacity == (PAGE_SIZE - HEADER_SIZE) // schema.tuple_size
+
+    def test_insert_and_read(self, schema):
+        page = Page(schema)
+        slot = page.insert_row((5, 1.25, "abc"))
+        assert slot == 0
+        assert page.read(0) == (5, 1.25, "abc")
+
+    def test_slot_offsets_match_paper_layout(self, schema):
+        page = Page(schema)
+        assert page.slot_offset(0) == HEADER_SIZE
+        assert page.slot_offset(3) == HEADER_SIZE + 3 * schema.tuple_size
+
+    def test_read_field_direct(self, schema):
+        page = Page(schema)
+        page.insert_row((1, 2.0, "x"))
+        page.insert_row((3, 4.0, "y"))
+        assert page.read_field(1, 0) == 3
+        assert page.read_field(1, 2) == "y"
+
+    def test_full_page_raises(self, schema):
+        page = Page(schema)
+        for i in range(page.capacity):
+            page.insert_row((i, 0.0, ""))
+        assert page.is_full
+        with pytest.raises(PageFullError):
+            page.insert_row((0, 0.0, ""))
+
+    def test_rows_iteration_order(self, schema):
+        page = Page(schema)
+        rows = [(i, float(i), f"r{i}") for i in range(10)]
+        for row in rows:
+            page.insert_row(row)
+        assert list(page.rows()) == rows
+
+    def test_out_of_range_read_raises(self, schema):
+        page = Page(schema)
+        with pytest.raises(StorageError):
+            page.read(0)
+
+    def test_clear_resets_count(self, schema):
+        page = Page(schema)
+        page.insert_row((1, 1.0, "a"))
+        page.clear()
+        assert page.num_tuples == 0
+
+    def test_wrong_sized_tuple_rejected(self, schema):
+        page = Page(schema)
+        with pytest.raises(StorageError):
+            page.insert(b"short")
+
+    def test_oversized_tuple_schema_rejected(self):
+        big = Schema([Column("c", char(PAGE_SIZE))])
+        with pytest.raises(StorageError):
+            Page(big)
+
+    def test_page_from_existing_buffer(self, schema):
+        original = Page(schema)
+        original.insert_row((9, 9.0, "nine"))
+        clone = Page(schema, bytearray(original.data))
+        assert clone.read(0) == (9, 9.0, "nine")
+
+    def test_bad_buffer_size_rejected(self, schema):
+        with pytest.raises(StorageError):
+            Page(schema, bytearray(100))
+
+    @given(st.lists(st.integers(-(2**31), 2**31), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_insert_read_property(self, values):
+        schema = Schema([Column("v", INT)])
+        page = Page(schema)
+        inserted = []
+        for value in values:
+            if page.is_full:
+                break
+            page.insert_row((value,))
+            inserted.append((value,))
+        assert list(page.rows()) == inserted

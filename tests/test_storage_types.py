@@ -1,0 +1,138 @@
+"""Unit tests for the type system and value codecs."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.types import (
+    BOOL,
+    DATE,
+    DOUBLE,
+    INT,
+    char,
+    date_to_ordinal,
+    ordinal_to_date,
+    type_from_sql,
+    varchar,
+)
+
+
+class TestScalarTypes:
+    def test_int_properties(self):
+        assert INT.size == 8
+        assert INT.struct_char == "q"
+        assert INT.is_numeric and not INT.is_string
+
+    def test_double_properties(self):
+        assert DOUBLE.size == 8
+        assert DOUBLE.is_numeric
+
+    def test_date_is_four_bytes(self):
+        assert DATE.size == 4
+
+    def test_bool_is_one_byte(self):
+        assert BOOL.size == 1
+
+    def test_int_storage_roundtrip(self):
+        assert INT.from_storage(INT.to_storage(42)) == 42
+
+    def test_int_coerces_floats(self):
+        assert INT.to_storage(41.9) == 41
+
+    def test_double_coerces_ints(self):
+        assert DOUBLE.to_storage(3) == 3.0
+
+    def test_bool_storage(self):
+        assert BOOL.to_storage(1) is True
+        assert BOOL.to_storage(0) is False
+
+
+class TestCharTypes:
+    def test_char_pads_with_spaces(self):
+        ct = char(6)
+        assert ct.to_storage("ab") == b"ab    "
+
+    def test_char_strip_on_decode(self):
+        ct = char(6)
+        assert ct.from_storage(b"ab    ") == "ab"
+
+    def test_char_accepts_bytes(self):
+        assert char(4).to_storage(b"xy") == b"xy  "
+
+    def test_char_overflow_raises(self):
+        with pytest.raises(StorageError):
+            char(2).to_storage("abc")
+
+    def test_char_zero_length_rejected(self):
+        with pytest.raises(StorageError):
+            char(0)
+
+    def test_varchar_fixed_slot(self):
+        vt = varchar(10)
+        assert vt.size == 10
+        assert vt.to_storage("hi") == b"hi        "
+
+    def test_varchar_requires_length(self):
+        with pytest.raises(StorageError):
+            type_from_sql("VARCHAR")
+
+    def test_strings_comparable_with_each_other(self):
+        assert char(3).comparable_with(varchar(9))
+
+    def test_string_not_comparable_with_int(self):
+        assert not char(3).comparable_with(INT)
+
+
+class TestDates:
+    def test_epoch_is_zero(self):
+        assert date_to_ordinal("1970-01-01") == 0
+
+    def test_ordinal_roundtrip(self):
+        day = date_to_ordinal("1998-09-02")
+        assert ordinal_to_date(day) == datetime.date(1998, 9, 2)
+
+    def test_date_object_accepted(self):
+        assert date_to_ordinal(datetime.date(1970, 1, 2)) == 1
+
+    def test_date_storage_accepts_dates_and_ints(self):
+        day = date_to_ordinal("1995-03-15")
+        assert DATE.to_storage(datetime.date(1995, 3, 15)) == day
+        assert DATE.to_storage(day) == day
+
+    def test_date_comparable_with_int(self):
+        assert DATE.comparable_with(INT)
+        assert INT.comparable_with(DATE)
+
+    def test_date_not_comparable_with_string(self):
+        assert not DATE.comparable_with(char(10))
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_ordinal_roundtrip_property(self, day):
+        assert date_to_ordinal(ordinal_to_date(day)) == day
+
+
+class TestSqlTypeNames:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INT", INT),
+            ("integer", INT),
+            ("BIGINT", INT),
+            ("DOUBLE", DOUBLE),
+            ("decimal", DOUBLE),
+            ("REAL", DOUBLE),
+            ("DATE", DATE),
+            ("boolean", BOOL),
+        ],
+    )
+    def test_resolution(self, name, expected):
+        assert type_from_sql(name) == expected
+
+    def test_char_with_length(self):
+        assert type_from_sql("CHAR", 12) == char(12)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(StorageError):
+            type_from_sql("BLOB")

@@ -1,0 +1,139 @@
+"""Tests for the TPC-H substrate and the Figure 8 queries."""
+
+import pytest
+
+from repro.bench.tpch import Q1, Q10, Q3, QUERIES
+from repro.bench.tpch.dbgen import SEGMENTS
+from repro.plan.reference import evaluate as reference_evaluate
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.storage.types import date_to_ordinal
+
+
+def canonical(rows):
+    return sorted(
+        repr([round(v, 4) if isinstance(v, float) else v for v in row])
+        for row in rows
+    )
+
+
+class TestDbgen:
+    def test_all_tables_present(self, tpch_db):
+        for name in (
+            "region", "nation", "supplier", "customer", "part",
+            "partsupp", "orders", "lineitem",
+        ):
+            assert tpch_db.catalog.has_table(name)
+
+    def test_population_ratios(self, tpch_db):
+        customers = tpch_db.table("customer").num_rows
+        orders = tpch_db.table("orders").num_rows
+        lineitems = tpch_db.table("lineitem").num_rows
+        assert orders == 10 * customers
+        assert 1 * orders <= lineitems <= 7 * orders
+
+    def test_fixed_small_tables(self, tpch_db):
+        assert tpch_db.table("region").num_rows == 5
+        assert tpch_db.table("nation").num_rows == 25
+
+    def test_value_domains(self, tpch_db):
+        lineitem = tpch_db.table("lineitem")
+        schema = lineitem.schema
+        qty = schema.index_of("l_quantity")
+        disc = schema.index_of("l_discount")
+        flag = schema.index_of("l_returnflag")
+        ship = schema.index_of("l_shipdate")
+        low = date_to_ordinal("1992-01-01")
+        high = date_to_ordinal("1998-12-31")
+        for row in lineitem.scan_rows():
+            assert 1 <= row[qty] <= 50
+            assert 0.0 <= row[disc] <= 0.10
+            assert row[flag] in ("R", "A", "N")
+            assert low <= row[ship] <= high
+
+    def test_customer_segments(self, tpch_db):
+        segment = tpch_db.table("customer").schema.index_of("c_mktsegment")
+        seen = {row[segment] for row in tpch_db.table("customer").scan_rows()}
+        assert seen <= set(SEGMENTS)
+
+    def test_q1_predicate_selectivity(self, tpch_db):
+        """Q1 keeps the vast majority of lineitem (paper: ~97–98%)."""
+        lineitem = tpch_db.table("lineitem")
+        ship = lineitem.schema.index_of("l_shipdate")
+        cutoff = date_to_ordinal("1998-09-02")
+        kept = sum(
+            1 for row in lineitem.scan_rows() if row[ship] <= cutoff
+        )
+        assert kept / lineitem.num_rows > 0.9
+
+    def test_determinism(self):
+        from repro.bench.tpch import generate_tpch
+        from repro.storage import Catalog
+
+        first = Catalog()
+        generate_tpch(first, scale_factor=0.0005, seed=1)
+        second = Catalog()
+        generate_tpch(second, scale_factor=0.0005, seed=1)
+        assert (
+            first.table("lineitem").all_rows()
+            == second.table("lineitem").all_rows()
+        )
+
+    def test_statistics_gathered(self, tpch_db):
+        stats = tpch_db.catalog.stats("lineitem")
+        assert stats.row_count == tpch_db.table("lineitem").num_rows
+        assert stats.columns["l_returnflag"].distinct <= 3
+
+
+class TestTpchQueries:
+    def test_q1_shape(self, tpch_db):
+        rows = tpch_db.execute(Q1)
+        # At most 2 return flags x 2 line statuses.
+        assert 1 <= len(rows) <= 4
+        # Ordered by (returnflag, linestatus).
+        keys = [(row[0], row[1]) for row in rows]
+        assert keys == sorted(keys)
+        # Aggregate sanity: sum_disc_price <= sum_base_price.
+        for row in rows:
+            assert row[4] <= row[3]
+            assert row[9] > 0  # count_order
+
+    def test_q3_shape(self, tpch_db):
+        rows = tpch_db.execute(Q3)
+        assert len(rows) <= 10
+        revenues = [row[1] for row in rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q10_shape(self, tpch_db):
+        rows = tpch_db.execute(Q10)
+        assert len(rows) <= 20
+        revenues = [row[2] for row in rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    @pytest.mark.parametrize("name", list(QUERIES))
+    def test_all_engines_agree_with_reference(self, tpch_db, name):
+        sql = QUERIES[name]
+        expected = canonical(
+            reference_evaluate(Binder(tpch_db.catalog).bind(parse(sql)))
+        )
+        for kind in (
+            "hique", "hique-o0", "volcano", "volcano-generic", "systemx",
+            "vectorized",
+        ):
+            got = canonical(tpch_db.engine(kind).execute(sql))
+            assert got == expected, f"{kind} disagrees on {name}"
+
+    def test_q1_aggregates_consistent(self, tpch_db):
+        rows = tpch_db.execute(Q1)
+        for row in rows:
+            # avg_qty == sum_qty / count_order
+            assert row[6] == pytest.approx(row[2] / row[9])
+            assert row[7] == pytest.approx(row[3] / row[9])
+
+    def test_q1_plan_uses_map_aggregation(self, tpch_db):
+        explanation = tpch_db.explain(Q1)
+        assert "Aggregate map" in explanation
+
+    def test_q10_plan_uses_hybrid_aggregation(self, tpch_db):
+        explanation = tpch_db.explain(Q10)
+        assert "Aggregate hybrid" in explanation
