@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (``pip install -e .``) in
+environments whose setuptools predates PEP 660 or lacks ``wheel``.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

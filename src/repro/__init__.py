@@ -22,6 +22,7 @@ from repro.engines.vectorized import VectorizedEngine
 from repro.engines.volcano import VolcanoEngine
 from repro.errors import ReproError
 from repro.plan.optimizer import PlannerConfig
+from repro.service import PlanCache, PreparedStatement, QueryService
 from repro.storage import (
     BOOL,
     DATE,
@@ -51,7 +52,10 @@ __all__ = [
     "INT",
     "OPT_O0",
     "OPT_O2",
+    "PlanCache",
     "PlannerConfig",
+    "PreparedStatement",
+    "QueryService",
     "ReproError",
     "Schema",
     "Table",

@@ -24,6 +24,7 @@ from repro.engines.vectorized import VectorizedEngine
 from repro.engines.volcano import VolcanoEngine
 from repro.errors import ReproError
 from repro.plan.optimizer import PlannerConfig
+from repro.service import PreparedStatement, QueryService
 from repro.storage.buffer import BufferManager
 from repro.storage.catalog import Catalog
 from repro.storage.schema import Column, Schema
@@ -47,13 +48,26 @@ class Database:
         self,
         buffer_capacity: int = 4096,
         planner_config: PlannerConfig | None = None,
+        cache_capacity: int = 64,
+        max_workers: int = 4,
+        catalog: Catalog | None = None,
     ):
-        self.buffer = BufferManager(buffer_capacity)
-        self.catalog = Catalog(self.buffer)
+        if catalog is not None:
+            self.buffer = catalog.buffer
+            self.catalog = catalog
+        else:
+            self.buffer = BufferManager(buffer_capacity)
+            self.catalog = Catalog(self.buffer)
         self.planner_config = (
             planner_config if planner_config is not None else PlannerConfig()
         )
+        self.cache_capacity = cache_capacity
+        self.max_workers = max_workers
         self._engines: dict[str, Any] = {}
+        self._service: QueryService | None = None
+        # Engine-internal caches (compiled text cache, DSM copies) go
+        # stale on DDL and statistics changes, same as service plans.
+        self.catalog.add_listener(self._on_catalog_change)
 
     # -- schema & data ---------------------------------------------------------------
     def create_table(
@@ -102,10 +116,56 @@ class Database:
             )
         return VectorizedEngine(self.catalog, planner_config=config)
 
+    def _on_catalog_change(self, table: str | None) -> None:
+        for kind in ("hique", "hique-o0"):
+            cached = self._engines.get(kind)
+            if cached is not None:
+                cached.clear_cache()
+        vectorized = self._engines.get("vectorized")
+        if vectorized is not None:
+            vectorized.invalidate(table)
+
+    # -- the query service --------------------------------------------------------------
+    @property
+    def service(self) -> QueryService:
+        """The prepared-statement/plan-cache front-end (lazily built)."""
+        if self._service is None:
+            self._service = QueryService(
+                self,
+                cache_capacity=self.cache_capacity,
+                max_workers=self.max_workers,
+            )
+        return self._service
+
+    def prepare(
+        self, sql: str, engine: str = "hique"
+    ) -> PreparedStatement:
+        """Prepare one statement shape for repeated execution."""
+        if engine not in ENGINE_KINDS:
+            raise ReproError(
+                f"unknown engine {engine!r}; choose from {ENGINE_KINDS}"
+            )
+        return self.service.prepare(sql, engine=engine)
+
     # -- querying -----------------------------------------------------------------------
-    def execute(self, sql: str, engine: str = "hique") -> list[tuple]:
-        """Run one query through the chosen engine."""
-        return self.engine(engine).execute(sql)
+    def execute(
+        self,
+        sql: str,
+        engine: str = "hique",
+        params: Sequence[Any] | None = None,
+    ) -> list[tuple]:
+        """Run one query through the chosen engine.
+
+        Execution goes through the query service, so repeated statement
+        shapes — identical text, or text differing only in WHERE-clause
+        constants — reuse one cached compiled plan.  ``params`` fills
+        explicit ``?`` placeholders.
+        """
+        if engine not in ENGINE_KINDS:
+            raise ReproError(
+                f"unknown engine {engine!r}; choose from {ENGINE_KINDS}"
+            )
+        return self.service.execute(sql, params=params, engine=engine)
 
     def explain(self, sql: str) -> str:
         """The physical plan the shared optimizer produces."""
@@ -118,3 +178,22 @@ class Database:
         """The HIQUE-generated Python source for a query."""
         hique: HiqueEngine = self.engine("hique")
         return hique.generate_source(sql, opt_level=opt_level)
+
+    # -- lifecycle -----------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the service and release engine resources."""
+        self.catalog.remove_listener(self._on_catalog_change)
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+        for engine in self._engines.values():
+            close = getattr(engine, "close", None)
+            if callable(close):
+                close()
+        self._engines.clear()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,6 +1,9 @@
 """Interactive SQL shell over the holistic engine.
 
-Run with ``python -m repro``.  Meta-commands:
+Run with ``python -m repro`` (or the ``repro`` console script).  Plain
+SQL goes through the query service, so repeated statement shapes reuse
+cached compiled plans; statements may use ``?`` placeholders when
+executed through ``.prepare`` / ``.exec``.  Meta-commands:
 
 * ``.help`` — list commands
 * ``.tables`` — list catalogued tables with row counts
@@ -8,6 +11,11 @@ Run with ``python -m repro``.  Meta-commands:
   volcano-generic, systemx, vectorized)
 * ``.explain <sql>`` — show the physical plan
 * ``.source <sql>`` — show the generated Python module
+* ``.prepare <sql>`` — prepare a statement (literals are parameterized
+  away; ``?`` placeholders allowed) and report preparation timings
+* ``.exec [v1, v2, ...]`` — run the last prepared statement with the
+  given parameter values (int, float or 'string')
+* ``.cache [clear]`` — show (or reset) plan-cache and service stats
 * ``.tpch [sf]`` — load a TPC-H instance (default scale factor 0.002)
 * ``.timing on|off`` — toggle per-query timing
 * ``.quit`` — exit
@@ -20,6 +28,7 @@ import time
 
 from repro.api import Database, ENGINE_KINDS
 from repro.errors import ReproError
+from repro.service import PreparedStatement
 
 _PROMPT = "hique> "
 
@@ -32,6 +41,7 @@ class Shell:
         self.engine_kind = "hique"
         self.timing = True
         self.stdout = stdout if stdout is not None else sys.stdout
+        self.last_statement: PreparedStatement | None = None
 
     # -- output ------------------------------------------------------------------
     def write(self, text: str = "") -> None:
@@ -102,6 +112,12 @@ class Shell:
                 self.write(self.db.generated_source(argument))
             except ReproError as exc:
                 self.write(f"error: {exc}")
+        elif command == ".prepare":
+            self._prepare(argument)
+        elif command == ".exec":
+            self._exec(argument)
+        elif command == ".cache":
+            self._cache(argument)
         elif command == ".tpch":
             scale = float(argument) if argument else 0.002
             from repro.bench.tpch import generate_tpch
@@ -121,26 +137,84 @@ class Shell:
             self.write(f"unknown command {command}; try .help")
         return True
 
-    def _run_sql(self, sql: str) -> None:
-        engine = self.db.engine(self.engine_kind)
+    # -- prepared statements ---------------------------------------------------------
+    def _prepare(self, sql: str) -> None:
+        if not sql:
+            self.write("usage: .prepare <sql>")
+            return
         try:
             started = time.perf_counter()
-            rows = engine.execute(sql)
+            statement = self.db.prepare(sql, engine=self.engine_kind)
             elapsed = time.perf_counter() - started
         except ReproError as exc:
             self.write(f"error: {exc}")
             return
-        names = self._output_names(sql)
-        self.write_rows(names, rows)
+        self.last_statement = statement
+        self.write(f"prepared: {statement.key}")
+        self.write(
+            f"{statement.num_params} parameter(s); prepared in "
+            f"{elapsed * 1000:.2f} ms — run with .exec v1, v2, ..."
+        )
+
+    def _exec(self, argument: str) -> None:
+        if self.last_statement is None:
+            self.write("no prepared statement; use .prepare <sql> first")
+            return
+        try:
+            params = _parse_params(argument) if argument else None
+            started = time.perf_counter()
+            rows = self.last_statement.execute(params)
+            elapsed = time.perf_counter() - started
+        except (ReproError, ValueError) as exc:
+            self.write(f"error: {exc}")
+            return
+        self.write_rows(self._statement_names(self.last_statement), rows)
+        if self.timing:
+            self.write(f"[{self.last_statement.engine_kind}] "
+                       f"{elapsed * 1000:.2f} ms")
+
+    def _cache(self, argument: str) -> None:
+        service = self.db.service
+        if argument == "clear":
+            service.cache.invalidate()
+            self.write("plan cache cleared")
+            return
+        stats = service.stats()
+        cache = stats.cache
+        self.write(
+            f"plan cache: {cache.size}/{cache.capacity} entries, "
+            f"{cache.hits} hits, {cache.misses} misses, "
+            f"{cache.evictions} evictions, {cache.invalidations} "
+            f"invalidations ({cache.hit_rate * 100:.0f}% hit rate)"
+        )
+        self.write(
+            f"preparation saved: {cache.seconds_saved * 1000:.2f} ms; "
+            f"service: {stats.queries} queries, {stats.text_hits} "
+            f"text hits, {stats.completed} pooled, {stats.rejected} "
+            f"rejected"
+        )
+        for entry in reversed(service.cache.entries()):
+            kind, key, _signature = entry.key
+            self.write(f"  [{entry.hits:>4} hits] ({kind}) {key}")
+
+    def _run_sql(self, sql: str) -> None:
+        try:
+            started = time.perf_counter()
+            statement = self.db.prepare(sql, engine=self.engine_kind)
+            rows = statement.execute()
+            elapsed = time.perf_counter() - started
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return
+        self.write_rows(self._statement_names(statement), rows)
         if self.timing:
             self.write(
                 f"[{self.engine_kind}] {elapsed * 1000:.2f} ms"
             )
 
-    def _output_names(self, sql: str) -> list[str]:
+    def _statement_names(self, statement: PreparedStatement) -> list[str]:
         try:
-            hique = self.db.engine("hique")
-            return hique.prepare(sql).output_names
+            return statement.output_names
         except ReproError:
             return []
 
@@ -149,6 +223,47 @@ def _format_cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)
+
+
+def _parse_params(text: str) -> tuple:
+    """Parse ``.exec`` arguments: comma-separated ints, floats, 'strings'."""
+    values = []
+    for part in _split_params(text):
+        part = part.strip()
+        if not part:
+            raise ValueError("empty parameter value")
+        if part.startswith("'") and part.endswith("'") and len(part) >= 2:
+            values.append(part[1:-1].replace("''", "'"))
+            continue
+        try:
+            values.append(int(part))
+        except ValueError:
+            try:
+                values.append(float(part))
+            except ValueError:
+                raise ValueError(
+                    f"cannot parse parameter {part!r} (use an int, a "
+                    f"float or a 'quoted string')"
+                ) from None
+    return tuple(values)
+
+
+def _split_params(text: str) -> list[str]:
+    """Split on commas that are not inside single-quoted strings."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_string = False
+    for ch in text:
+        if ch == "'":
+            in_string = not in_string
+            current.append(ch)
+        elif ch == "," and not in_string:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -11,8 +11,10 @@ library when reporting compiled sizes.
 
 from __future__ import annotations
 
+import atexit
 import marshal
 import os
+import shutil
 import tempfile
 import time
 from dataclasses import dataclass
@@ -44,15 +46,38 @@ class QueryCompiler:
     "frequently or recently issued queries")."""
 
     def __init__(self, workdir: str | None = None):
+        #: Only directories this compiler created itself are deleted on
+        #: close — a caller-supplied workdir is the caller's to manage.
+        self._owns_workdir = workdir is None
         if workdir is None:
             workdir = tempfile.mkdtemp(prefix="hique_gen_")
+            # The atexit hook holds only the path (not ``self``), so the
+            # registration neither keeps the compiler alive nor breaks
+            # when close() already removed the directory.
+            atexit.register(shutil.rmtree, workdir, ignore_errors=True)
         self.workdir = workdir
         os.makedirs(workdir, exist_ok=True)
         self._counter = 0
 
+    def close(self) -> None:
+        """Delete the generated-source directory, if this compiler owns it.
+
+        Idempotent; the engine calls it from :meth:`HiqueEngine.close`
+        and an ``atexit`` hook covers engines that are never closed.
+        """
+        if self._owns_workdir:
+            shutil.rmtree(self.workdir, ignore_errors=True)
+
+    def __enter__(self) -> "QueryCompiler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def compile(self, generated: GeneratedQuery) -> CompiledQuery:
         """Write, compile and load one generated module."""
         self._counter += 1
+        os.makedirs(self.workdir, exist_ok=True)
         file_name = f"{_sanitize(generated.name)}_{self._counter}.py"
         source_path = os.path.join(self.workdir, file_name)
         with open(source_path, "w", encoding="utf-8") as handle:

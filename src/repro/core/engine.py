@@ -14,19 +14,22 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
 
 from repro.core.compiler import CompiledQuery, QueryCompiler
 from repro.core.emitter import OPT_O2
 from repro.core.executor import run_compiled
 from repro.core.generator import CodeGenerator, GeneratedQuery
-from repro.errors import MapDirectoryOverflow
+from repro.errors import ExecutionError, MapDirectoryOverflow
 from repro.memsim.probe import NULL_PROBE, NullProbe
 from repro.plan.descriptors import AGG_HYBRID, PhysicalPlan
 from repro.plan.optimizer import Optimizer, PlannerConfig
+from repro.sql import ast
 from repro.sql.binder import Binder
-from repro.sql.bound import BoundQuery
+from repro.sql.bound import BoundQuery, param_dtypes_of
 from repro.sql.parser import parse
 from repro.storage.catalog import Catalog
+from repro.storage.types import DataType
 
 
 @dataclass
@@ -63,6 +66,11 @@ class PreparedQuery:
     def output_names(self) -> list[str]:
         return self.plan.output_names
 
+    @property
+    def num_params(self) -> int:
+        """How many execute-time parameters the compiled code expects."""
+        return self.bound.num_params
+
 
 class HiqueEngine:
     """The holistic query engine over a catalogue of tables."""
@@ -93,8 +101,17 @@ class HiqueEngine:
         opt_level: str | None = None,
         use_cache: bool = True,
         planner_config: PlannerConfig | None = None,
+        query: ast.Query | None = None,
+        param_dtypes: Mapping[int, DataType] | None = None,
     ) -> PreparedQuery:
-        """Run the full pipeline, returning the compiled query."""
+        """Run the full pipeline, returning the compiled query.
+
+        ``query`` supplies an already-parsed (typically parameterized)
+        AST, skipping the parse step — the query service uses this after
+        normalizing a statement.  ``param_dtypes`` types the query's
+        parameters by index; untyped parameters are inferred from
+        context by the binder.
+        """
         level = opt_level if opt_level is not None else self.opt_level
         key = (sql, level, traced)
         if use_cache and planner_config is None and key in self._cache:
@@ -102,7 +119,8 @@ class HiqueEngine:
 
         timings = PreparationTimings()
         started = time.perf_counter()
-        bound = self.binder.bind(parse(sql))
+        parsed = query if query is not None else parse(sql)
+        bound = self.binder.bind(parsed, param_dtypes=param_dtypes)
         timings.parse_seconds = time.perf_counter() - started
 
         config = (
@@ -141,6 +159,7 @@ class HiqueEngine:
         probe: NullProbe = NULL_PROBE,
         opt_level: str | None = None,
         planner_config: PlannerConfig | None = None,
+        params: Sequence[Any] = (),
     ) -> list[tuple]:
         """Prepare (with caching) and run a query."""
         prepared = self.prepare(
@@ -150,14 +169,25 @@ class HiqueEngine:
             opt_level=opt_level,
             planner_config=planner_config,
         )
-        return self.execute_prepared(prepared, probe=probe)
+        return self.execute_prepared(prepared, probe=probe, params=params)
 
     def execute_prepared(
-        self, prepared: PreparedQuery, probe: NullProbe = NULL_PROBE
+        self,
+        prepared: PreparedQuery,
+        probe: NullProbe = NULL_PROBE,
+        params: Sequence[Any] = (),
     ) -> list[tuple]:
         """Run a prepared query, re-planning on map-directory overflow."""
+        params = tuple(params)
+        if len(params) != prepared.num_params:
+            raise ExecutionError(
+                f"query expects {prepared.num_params} parameter(s), "
+                f"got {len(params)}"
+            )
         try:
-            return run_compiled(prepared.compiled, prepared.plan, probe=probe)
+            return run_compiled(
+                prepared.compiled, prepared.plan, probe=probe, params=params
+            )
         except MapDirectoryOverflow:
             # Statistics were stale: fall back to hybrid hash-sort
             # aggregation, which needs no capacity estimates.
@@ -171,8 +201,11 @@ class HiqueEngine:
                 opt_level=prepared.compiled.opt_level,
                 use_cache=False,
                 planner_config=fallback_config,
+                param_dtypes=param_dtypes_of(prepared.bound),
             )
-            return run_compiled(fallback.compiled, fallback.plan, probe=probe)
+            return run_compiled(
+                fallback.compiled, fallback.plan, probe=probe, params=params
+            )
 
     # -- introspection ------------------------------------------------------------------
     def generate_source(
@@ -191,3 +224,15 @@ class HiqueEngine:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop cached plans and delete the compiler's work directory."""
+        self.clear_cache()
+        self.compiler.close()
+
+    def __enter__(self) -> "HiqueEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

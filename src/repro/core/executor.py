@@ -33,6 +33,7 @@ from repro.sql.bound import (
     BoundArithmetic,
     BoundColumn,
     BoundExpr,
+    BoundParameter,
 )
 from repro.storage.table import Table
 
@@ -53,6 +54,9 @@ class QueryContext:
 
     tables: dict[str, Table] = field(default_factory=dict)
     probe: NullProbe = NULL_PROBE
+    #: Execute-time parameter vector; generated parameterized code reads
+    #: ``ctx.params[i]`` where it would otherwise inline a constant.
+    params: tuple = ()
     predicates: dict[int, Callable | None] = field(default_factory=dict)
     projectors: dict[int, Callable | None] = field(default_factory=dict)
     agg_helpers: dict[int, AggHelpers] = field(default_factory=dict)
@@ -62,9 +66,10 @@ def build_context(
     plan: PhysicalPlan,
     probe: NullProbe = NULL_PROBE,
     opt_level: str = OPT_O2,
+    params: tuple = (),
 ) -> QueryContext:
     """Resolve tables and (for O0) prepare the generic closures."""
-    ctx = QueryContext(probe=probe)
+    ctx = QueryContext(probe=probe, params=tuple(params))
     for operator in plan.operators:
         if isinstance(operator, ScanStage):
             ctx.tables[operator.binding] = operator.table
@@ -75,7 +80,7 @@ def build_context(
         if isinstance(operator, ScanStage):
             layout = _table_layout(operator.binding, operator.table)
             ctx.predicates[operator.op_id] = (
-                make_conjunction(operator.filters, layout)
+                make_conjunction(operator.filters, layout, ctx.params)
                 if operator.filters
                 else None
             )
@@ -87,14 +92,14 @@ def build_context(
         elif isinstance(operator, Project):
             input_layout = plan.op(operator.input_op).output_layout
             evaluators = [
-                make_evaluator(output.expr, input_layout)
+                make_evaluator(output.expr, input_layout, ctx.params)
                 for output in operator.outputs
             ]
             ctx.projectors[operator.op_id] = _expr_projector(evaluators)
         elif isinstance(operator, Aggregate):
             input_layout = plan.op(operator.input_op).output_layout
             ctx.agg_helpers[operator.op_id] = build_agg_helpers(
-                operator, input_layout
+                operator, input_layout, ctx.params
             )
     return ctx
 
@@ -103,9 +108,12 @@ def run_compiled(
     compiled: CompiledQuery,
     plan: PhysicalPlan,
     probe: NullProbe = NULL_PROBE,
+    params: tuple = (),
 ) -> list[tuple]:
     """Execute a compiled query against its plan's tables."""
-    ctx = build_context(plan, probe=probe, opt_level=compiled.opt_level)
+    ctx = build_context(
+        plan, probe=probe, opt_level=compiled.opt_level, params=params
+    )
     if compiled.traced and not probe.enabled:
         raise ExecutionError("traced query executed without a probe")
     return compiled.entry(ctx)
@@ -164,12 +172,14 @@ class _GenericAggState:
 
 
 def build_agg_helpers(
-    operator: Aggregate, input_layout: ColumnLayout
+    operator: Aggregate,
+    input_layout: ColumnLayout,
+    params: tuple = (),
 ) -> AggHelpers:
     """Closure bundle implementing the operator's aggregation semantics."""
     aggregates = collect_aggregates(operator)
     arg_evaluators = [
-        make_evaluator(node.argument, input_layout)
+        make_evaluator(node.argument, input_layout, params)
         if node.argument is not None
         else None
         for node in aggregates
@@ -218,6 +228,8 @@ def build_agg_helpers(
             return left / right
         if isinstance(expr, BoundColumn):
             return key[position_of[input_layout.position(expr)]]
+        if isinstance(expr, BoundParameter):
+            return params[expr.index]
         return expr.value  # BoundLiteral
 
     def finalize(key: tuple, states: list[_GenericAggState]) -> tuple:

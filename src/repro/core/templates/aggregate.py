@@ -23,7 +23,12 @@ from repro.core.emitter import Emitter, GenContext
 from repro.errors import CodegenError
 from repro.memsim import costs
 from repro.plan.descriptors import AGG_HYBRID, AGG_MAP, AGG_SORT, Aggregate
-from repro.plan.expressions import expr_source, expr_source_resolved
+from repro.plan.expressions import (
+    PARAMS_LOCAL,
+    contains_parameter,
+    expr_source,
+    expr_source_resolved,
+)
 from repro.plan.layout import ColumnLayout
 from repro.sql.bound import (
     BoundAggregate,
@@ -199,6 +204,8 @@ def _emit_global_aggregate(
 ) -> None:
     row_bytes = len(compiler.input_layout) * 8
     with em.block(f"def {func_name}(ctx, rows):"):
+        if _uses_params(op):
+            em.emit(f"{PARAMS_LOCAL} = ctx.params")
         for line in compiler.init_lines():
             em.emit(line)
         if gen.traced:
@@ -236,6 +243,8 @@ def _emit_sorted_aggregate(
     row_bytes = len(compiler.input_layout) * 8
     argument = "parts" if hybrid else "rows"
     with em.block(f"def {func_name}(ctx, {argument}):"):
+        if _uses_params(op):
+            em.emit(f"{PARAMS_LOCAL} = ctx.params")
         em.emit("out = []")
         em.emit("append = out.append")
         if gen.traced:
@@ -317,6 +326,8 @@ def _emit_map_aggregate(
     num_aggs = max(len(compiler.aggregates), 1)
 
     with em.block(f"def {func_name}(ctx, rows):"):
+        if _uses_params(op):
+            em.emit(f"{PARAMS_LOCAL} = ctx.params")
         for g in range(len(positions)):
             em.emit(f"dir{g} = {{}}")
         em.emit(f"_keys = [None] * {n_groups}")
@@ -450,6 +461,10 @@ def _emit_generic_aggregate(
                 f"helpers.update, helpers.finalize)"
             )
     em.emit()
+
+
+def _uses_params(op: Aggregate) -> bool:
+    return any(contains_parameter(output.expr) for output in op.outputs)
 
 
 def _update_instr(compiler: _AggCompiler) -> int:

@@ -5,7 +5,11 @@ from __future__ import annotations
 from repro.core.emitter import Emitter, GenContext
 from repro.memsim import costs
 from repro.plan.descriptors import Limit, Project, Sort
-from repro.plan.expressions import expr_source
+from repro.plan.expressions import (
+    PARAMS_LOCAL,
+    contains_parameter,
+    expr_source,
+)
 from repro.plan.layout import ColumnLayout
 
 
@@ -22,6 +26,8 @@ def emit_project(
             em.emit(f"projector = ctx.projectors[{op.op_id}]")
             em.emit("return [projector(row) for row in rows]")
         else:
+            if any(contains_parameter(o.expr) for o in op.outputs):
+                em.emit(f"{PARAMS_LOCAL} = ctx.params")
             expressions = ", ".join(
                 expr_source(output.expr, input_layout, "row")
                 for output in op.outputs

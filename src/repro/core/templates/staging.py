@@ -21,7 +21,11 @@ from repro.plan.descriptors import (
     Restage,
     ScanStage,
 )
-from repro.plan.expressions import conjunction_source_resolved
+from repro.plan.expressions import (
+    PARAMS_LOCAL,
+    comparisons_contain_parameter,
+    conjunction_source_resolved,
+)
 from repro.sql.bound import BoundColumn, columns_in
 from repro.storage.page import HEADER_SIZE
 
@@ -75,6 +79,8 @@ def _emit_scan_optimized(
     with em.block(f"def {func_name}(ctx):"):
         em.emit(f'table = ctx.tables["{op.binding}"]')
         em.emit("read_page = table.read_page")
+        if comparisons_contain_parameter(op.filters):
+            em.emit(f"{PARAMS_LOCAL} = ctx.params")
         _emit_collector_init(em, gen, op, row_bytes, "table.num_rows")
         if gen.traced:
             em.emit("_probe = ctx.probe")

@@ -71,6 +71,15 @@ class ExecutionError(ReproError):
     """Raised when a compiled query fails at run time."""
 
 
+class ServiceError(ReproError):
+    """Raised by the query service layer (sessions, prepared statements)."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when the service's bounded session pool is saturated and a
+    new request cannot be admitted."""
+
+
 class MapDirectoryOverflow(ExecutionError):
     """Raised by generated map-aggregation code when a value directory
     outgrows its planned capacity (stale statistics).

@@ -27,7 +27,12 @@ from repro.sql.bound import (
     BoundComparison,
     BoundExpr,
     BoundLiteral,
+    BoundParameter,
 )
+
+#: Local variable the generated code binds to ``ctx.params``; every
+#: source fragment for a :class:`BoundParameter` indexes into it.
+PARAMS_LOCAL = "_params"
 
 _ARITH_FUNCS: dict[str, Callable[[Any, Any], Any]] = {
     "+": operator.add,
@@ -60,18 +65,28 @@ COMPARE_SOURCE = {
 
 
 def make_evaluator(
-    expr: BoundExpr, layout: ColumnLayout
+    expr: BoundExpr,
+    layout: ColumnLayout,
+    params: Sequence[Any] | None = None,
 ) -> Callable[[Sequence[Any]], Any]:
     """A ``row -> value`` closure for a scalar (non-aggregate) expression."""
     if isinstance(expr, BoundLiteral):
         value = expr.value
         return lambda row: value
+    if isinstance(expr, BoundParameter):
+        if params is None:
+            raise PlanError(
+                f"parameter ?{expr.index + 1} evaluated without a "
+                f"parameter vector"
+            )
+        value = params[expr.index]
+        return lambda row: value
     if isinstance(expr, BoundColumn):
         position = layout.position(expr)
         return lambda row: row[position]
     if isinstance(expr, BoundArithmetic):
-        left = make_evaluator(expr.left, layout)
-        right = make_evaluator(expr.right, layout)
+        left = make_evaluator(expr.left, layout, params)
+        right = make_evaluator(expr.right, layout, params)
         func = _ARITH_FUNCS[expr.op]
         return lambda row: func(left(row), right(row))
     if isinstance(expr, BoundAggregate):
@@ -80,22 +95,26 @@ def make_evaluator(
 
 
 def make_predicate(
-    comparison: BoundComparison, layout: ColumnLayout
+    comparison: BoundComparison,
+    layout: ColumnLayout,
+    params: Sequence[Any] | None = None,
 ) -> Callable[[Sequence[Any]], bool]:
     """A ``row -> bool`` closure for one comparison."""
-    left = make_evaluator(comparison.left, layout)
-    right = make_evaluator(comparison.right, layout)
+    left = make_evaluator(comparison.left, layout, params)
+    right = make_evaluator(comparison.right, layout, params)
     func = _COMPARE_FUNCS[comparison.op]
     return lambda row: func(left(row), right(row))
 
 
 def make_conjunction(
-    comparisons: Sequence[BoundComparison], layout: ColumnLayout
+    comparisons: Sequence[BoundComparison],
+    layout: ColumnLayout,
+    params: Sequence[Any] | None = None,
 ) -> Callable[[Sequence[Any]], bool]:
     """A ``row -> bool`` closure AND-ing all comparisons (empty → True)."""
     if not comparisons:
         return lambda row: True
-    predicates = [make_predicate(c, layout) for c in comparisons]
+    predicates = [make_predicate(c, layout, params) for c in comparisons]
     if len(predicates) == 1:
         return predicates[0]
 
@@ -124,6 +143,8 @@ def expr_source(expr: BoundExpr, layout: ColumnLayout, row_var: str) -> str:
     """Python source for a scalar expression over ``row_var``."""
     if isinstance(expr, BoundLiteral):
         return literal_source(expr.value)
+    if isinstance(expr, BoundParameter):
+        return f"{PARAMS_LOCAL}[{expr.index}]"
     if isinstance(expr, BoundColumn):
         return f"{row_var}[{layout.position(expr)}]"
     if isinstance(expr, BoundArithmetic):
@@ -170,6 +191,8 @@ def expr_source_resolved(
     """Source for an expression with caller-controlled column spelling."""
     if isinstance(expr, BoundLiteral):
         return literal_source(expr.value)
+    if isinstance(expr, BoundParameter):
+        return f"{PARAMS_LOCAL}[{expr.index}]"
     if isinstance(expr, BoundColumn):
         return resolve(expr)
     if isinstance(expr, BoundArithmetic):
@@ -194,3 +217,33 @@ def conjunction_source_resolved(
         right = expr_source_resolved(comparison.right, resolve)
         parts.append(f"{left} {COMPARE_SOURCE[comparison.op]} {right}")
     return " and ".join(parts)
+
+
+# -- parameter detection ------------------------------------------------------------
+#
+# Templates hoist ``ctx.params`` into a function-local (PARAMS_LOCAL)
+# only when the operator's expressions actually reference a parameter,
+# keeping fully-constant generated code byte-identical to before.
+
+
+def contains_parameter(expr: BoundExpr | None) -> bool:
+    """Whether a bound expression references an execute-time parameter."""
+    if expr is None:
+        return False
+    if isinstance(expr, BoundParameter):
+        return True
+    if isinstance(expr, BoundArithmetic):
+        return contains_parameter(expr.left) or contains_parameter(expr.right)
+    if isinstance(expr, BoundAggregate):
+        return contains_parameter(expr.argument)
+    return False
+
+
+def comparisons_contain_parameter(
+    comparisons: Sequence[BoundComparison],
+) -> bool:
+    """Whether any comparison in a conjunction references a parameter."""
+    return any(
+        contains_parameter(c.left) or contains_parameter(c.right)
+        for c in comparisons
+    )

@@ -1,0 +1,30 @@
+"""The query service layer: prepared statements over a plan/code cache.
+
+The paper's Table III quantifies what it costs to *prepare* a query —
+parse, optimize, generate and compile — and observes that production
+systems amortize it by storing "pre-compiled and pre-optimized versions
+of frequently or recently issued queries".  This package is that
+amortization, grown into a serving front-end:
+
+* :class:`~repro.service.cache.PlanCache` — an LRU over compiled plans,
+  keyed on *normalized* SQL (literals parameterized away), with
+  per-entry hit counts and invalidation wired to catalogue changes;
+* :class:`~repro.service.statement.PreparedStatement` — a client handle
+  that executes one statement shape repeatedly with varying parameters;
+* :class:`~repro.service.service.QueryService` — the session front-end:
+  ``prepare()`` / ``execute(sql, params)`` / ``execute_many()``, a
+  bounded worker pool for concurrent sessions, and admission and cache
+  statistics.
+"""
+
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.service import QueryService, ServiceStats
+from repro.service.statement import PreparedStatement
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "PreparedStatement",
+    "QueryService",
+    "ServiceStats",
+]

@@ -1,0 +1,150 @@
+"""An LRU plan/code cache with hit statistics and invalidation.
+
+Entries are opaque to the cache (the service stores compiled HIQUE
+queries for the code-generating engines and normalized ASTs for the
+interpreting ones); the cache contributes recency ordering, bounded
+capacity, per-entry accounting, and thread safety.  Statistics make the
+paper's amortization argument measurable: every hit records how many
+seconds of preparation (Table III's parse + optimize + generate +
+compile) the cache just avoided.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass
+class CacheStats:
+    """A point-in-time snapshot of cache effectiveness."""
+
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    #: Preparation seconds the hits avoided (sum of each hit entry's cost).
+    seconds_saved: float
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class CacheEntry:
+    """One cached plan plus its accounting."""
+
+    key: Hashable
+    value: Any
+    #: What it cost to build this entry (seconds of preparation); each
+    #: hit adds this to the cache-wide ``seconds_saved`` figure.
+    cost_seconds: float = 0.0
+    hits: int = 0
+
+
+class PlanCache:
+    """A thread-safe LRU keyed on normalized statements.
+
+    ``capacity`` bounds the number of entries; inserting into a full
+    cache evicts the least recently used entry.  ``invalidate()`` drops
+    entries wholesale — the service calls it from the catalogue's change
+    listener, since any DDL or statistics refresh can change both plan
+    shape and plan choice.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._seconds_saved = 0.0
+
+    # -- core operations ---------------------------------------------------------
+    def get(self, key: Hashable) -> CacheEntry | None:
+        """The entry under ``key`` (refreshed to most recent), or None.
+
+        Counts toward hit/miss statistics — call this once per
+        *execution*, and :meth:`peek` for introspection, or the stats
+        overstate how much preparation the cache avoided.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self._hits += 1
+            self._seconds_saved += entry.cost_seconds
+            return entry
+
+    def peek(self, key: Hashable) -> CacheEntry | None:
+        """Like :meth:`get` (refreshes recency) but without touching
+        hit/miss accounting."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(
+        self, key: Hashable, value: Any, cost_seconds: float = 0.0
+    ) -> CacheEntry:
+        """Insert (or replace) an entry, evicting LRU entries if full."""
+        with self._lock:
+            entry = CacheEntry(key=key, value=value, cost_seconds=cost_seconds)
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return entry
+
+    def invalidate(self, key: Hashable | None = None) -> int:
+        """Drop one entry (or all of them); returns how many were dropped."""
+        with self._lock:
+            if key is not None:
+                dropped = 1 if self._entries.pop(key, None) is not None else 0
+            else:
+                dropped = len(self._entries)
+                self._entries.clear()
+            self._invalidations += dropped
+            return dropped
+
+    # -- introspection -------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def entries(self) -> list[CacheEntry]:
+        """Entries in LRU→MRU order (snapshot; safe to iterate)."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                capacity=self.capacity,
+                size=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                seconds_saved=self._seconds_saved,
+            )

@@ -1,0 +1,475 @@
+"""The concurrent session front-end over the plan/code cache.
+
+A :class:`QueryService` sits between clients and the engines:
+
+* it normalizes incoming statements (literal parameterization), so that
+  ``WHERE a = 1`` and ``WHERE a = 2`` share one compiled plan;
+* it keeps the :class:`~repro.service.cache.PlanCache` of prepared
+  queries — for the code-generating engines the cached value is the
+  fully compiled module, executed with a fresh parameter vector each
+  time, which skips all four Table III preparation stages on a hit;
+* it serves the interpreting comparison engines through parameter
+  substitution, so every engine kind answers prepared statements with
+  identical rows;
+* it fronts concurrent sessions with a bounded worker pool and
+  admission accounting.
+
+Engine execution is serialized by an internal lock: the storage layer
+(buffer pool, page files) is not itself thread-safe, so the pool bounds
+*admission* and keeps sessions isolated, while queries run one at a
+time.  The lock is scoped so cache lookups and statement resolution stay
+concurrent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.engine import HiqueEngine, PreparedQuery
+from repro.errors import AdmissionError, ServiceError
+from repro.plan.optimizer import Optimizer
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.statement import PreparedStatement
+from repro.sql import ast
+from repro.sql.bound import param_dtypes_of
+from repro.sql.parameters import (
+    ParameterizedQuery,
+    parameterize,
+    substitute_parameters,
+)
+from repro.sql.parser import parse
+
+
+@dataclass
+class ServiceStats:
+    """Point-in-time service counters (admission + cache)."""
+
+    queries: int
+    #: Raw-text fast-path hits: repeats of an already-seen statement
+    #: text skip even the parse step.
+    text_hits: int
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    pending: int
+    cache: CacheStats
+
+
+@dataclass
+class _CachedPlan:
+    """What the plan cache stores for one (engine, statement) pair."""
+
+    engine_kind: str
+    key: str
+    #: Compiled query for the code-generating engines; None otherwise.
+    prepared: PreparedQuery | None = None
+    #: Normalized AST for the interpreting engines (parameters are
+    #: substituted per execution, then bound and planned).
+    query: ast.Query | None = field(default=None, repr=False)
+    #: Parameter index → bound type, for execute-time value checking
+    #: (codegen path only; the interpreting path re-binds per call and
+    #: type-checks there).
+    param_dtypes: dict = field(default_factory=dict, repr=False)
+
+
+#: Engine kinds served by parameterized generated code.
+_CODEGEN_KINDS = ("hique", "hique-o0")
+
+
+def _check_param_values(param_dtypes: dict, values: tuple) -> None:
+    """Reject values whose type family contradicts the bound plan.
+
+    A compiled plan was type-checked against the statement's bound
+    parameter types; executing it with, say, a string where an INT was
+    bound would either raise a raw TypeError from generated code or —
+    worse — compare unequal everywhere and silently return no rows.
+    The interpreting engines need no such check: they re-bind per call.
+    """
+    for index, value in enumerate(values):
+        dtype = param_dtypes.get(index)
+        if dtype is None:
+            continue
+        if dtype.is_string:
+            if not isinstance(value, str):
+                raise ServiceError(
+                    f"parameter ?{index + 1} is bound as {dtype.name}; "
+                    f"got {type(value).__name__} {value!r}"
+                )
+        elif isinstance(value, str) or isinstance(value, bool):
+            raise ServiceError(
+                f"parameter ?{index + 1} is bound as {dtype.name}; "
+                f"got {type(value).__name__} {value!r}"
+                + (
+                    " (pass a datetime.date or a day ordinal)"
+                    if dtype.code == "date"
+                    else ""
+                )
+            )
+
+
+class QueryService:
+    """Prepared-statement service over a database's engines.
+
+    ``database`` is any object exposing ``catalog`` and
+    ``engine(kind)`` — in practice :class:`repro.api.Database`, which
+    also owns the service's lifecycle.
+    """
+
+    def __init__(
+        self,
+        database,
+        default_engine: str = "hique",
+        cache_capacity: int = 64,
+        max_workers: int = 4,
+        max_pending: int | None = None,
+    ):
+        self.database = database
+        self.default_engine = default_engine
+        self.cache = PlanCache(cache_capacity)
+        self.max_workers = max_workers
+        self.max_pending = (
+            max_pending if max_pending is not None else max_workers * 8
+        )
+
+        #: (engine_kind, raw sql) → (cache key, ParameterizedQuery);
+        #: bounded so adversarial literal-varying traffic cannot grow it
+        #: without limit.
+        self._text_index: "OrderedDict[tuple[str, str], tuple[str, ParameterizedQuery]]" = (
+            OrderedDict()
+        )
+        self._text_capacity = max(cache_capacity * 8, 128)
+
+        self._exec_lock = threading.RLock()
+        self._state_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+        self._queries = 0
+        self._text_hits = 0
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._pending = 0
+
+        self._listener = self._on_catalog_change
+        database.catalog.add_listener(self._listener)
+
+    # -- statement resolution ------------------------------------------------------
+    def prepare(
+        self, sql: str, engine: str | None = None
+    ) -> PreparedStatement:
+        """Normalize, plan, generate and compile one statement shape.
+
+        The compiled plan lands in the service cache; the returned
+        handle executes it with varying parameters.
+        """
+        kind = engine or self.default_engine
+        statement = self._resolve(sql, kind)
+        self._ensure_plan(statement, count=False)
+        return statement
+
+    def _resolve(self, sql: str, kind: str) -> PreparedStatement:
+        """Raw SQL text → statement, via the text fast path if possible."""
+        text_key = (kind, sql)
+        with self._state_lock:
+            alias = self._text_index.get(text_key)
+            if alias is not None:
+                self._text_index.move_to_end(text_key)
+                self._text_hits += 1
+                key, parameterized = alias
+                return PreparedStatement(
+                    service=self,
+                    engine_kind=kind,
+                    sql=sql,
+                    key=key,
+                    parameterized=parameterized,
+                )
+        parameterized = parameterize(parse(sql))
+        with self._state_lock:
+            self._text_index[text_key] = (parameterized.key, parameterized)
+            while len(self._text_index) > self._text_capacity:
+                self._text_index.popitem(last=False)
+        return PreparedStatement(
+            service=self,
+            engine_kind=kind,
+            sql=sql,
+            key=parameterized.key,
+            parameterized=parameterized,
+        )
+
+    def _ensure_plan(
+        self, statement: PreparedStatement, count: bool = True
+    ) -> _CachedPlan:
+        """The cached plan for a statement, building it on a miss.
+
+        The key carries the parameter type signature besides the
+        normalized SQL: ``WHERE c = 'x1'`` and ``WHERE c = 3`` render
+        identically but must bind (and possibly fail) separately.
+
+        ``count`` ties hit/miss statistics to *executions*: the execute
+        path counts, while prepare() and name introspection peek — so
+        "preparation saved" means seconds an execution actually
+        avoided, not how often the entry was looked at.
+        """
+        cache_key = (
+            statement.engine_kind,
+            statement.key,
+            statement.parameterized.type_signature,
+        )
+        entry = (
+            self.cache.get(cache_key)
+            if count
+            else self.cache.peek(cache_key)
+        )
+        if entry is not None:
+            return entry.value
+        plan, cost = self._build_plan(statement)
+        self.cache.put(cache_key, plan, cost_seconds=cost)
+        return plan
+
+    def _build_plan(
+        self, statement: PreparedStatement
+    ) -> tuple[_CachedPlan, float]:
+        kind = statement.engine_kind
+        parameterized = statement.parameterized
+        if kind in _CODEGEN_KINDS:
+            engine: HiqueEngine = self.database.engine(kind)
+            with self._exec_lock:
+                prepared = engine.prepare(
+                    statement.key,
+                    query=parameterized.query,
+                    param_dtypes={
+                        i: dtype
+                        for i, dtype in enumerate(parameterized.dtypes)
+                        if dtype is not None
+                    },
+                    use_cache=False,
+                )
+            return (
+                _CachedPlan(
+                    engine_kind=kind,
+                    key=statement.key,
+                    prepared=prepared,
+                    param_dtypes=param_dtypes_of(prepared.bound),
+                ),
+                prepared.timings.total_seconds,
+            )
+        # Interpreting engines: cache the normalized AST (skips lex +
+        # parse on repeats); binding and planning re-run per execution
+        # because their plans inline constant values.
+        started = time.perf_counter()
+        plan = _CachedPlan(
+            engine_kind=kind, key=statement.key, query=parameterized.query
+        )
+        return plan, time.perf_counter() - started
+
+    # -- execution -----------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] | None = None,
+        engine: str | None = None,
+    ) -> list[tuple]:
+        """One-shot execution through the cache.
+
+        Equivalent to ``prepare(sql, engine).execute(params)`` but a
+        single call, which is how ad-hoc traffic benefits from the
+        cache without managing statement handles.
+        """
+        kind = engine or self.default_engine
+        statement = self._resolve(sql, kind)
+        return self.execute_statement(statement, params, allow_override=False)
+
+    def execute_statement(
+        self,
+        statement: PreparedStatement,
+        params: Sequence[Any] | None = None,
+        allow_override: bool = True,
+    ) -> list[tuple]:
+        """Run a prepared statement with one parameter vector."""
+        if self._closed:
+            raise ServiceError("query service is closed")
+        values = statement.resolve_params(params, allow_override)
+        plan = self._ensure_plan(statement)
+        with self._state_lock:
+            self._queries += 1
+        if plan.prepared is not None:
+            _check_param_values(plan.param_dtypes, values)
+            engine: HiqueEngine = self.database.engine(statement.engine_kind)
+            with self._exec_lock:
+                return engine.execute_prepared(plan.prepared, params=values)
+        return self._execute_interpreted(statement.engine_kind, plan, values)
+
+    def _execute_interpreted(
+        self, kind: str, plan: _CachedPlan, values: tuple
+    ) -> list[tuple]:
+        """Substitute parameters and run an interpreting engine."""
+        engine = self.database.engine(kind)
+        substituted = substitute_parameters(plan.query, values)
+        with self._exec_lock:
+            bound = engine.binder.bind(substituted)
+            physical = Optimizer(
+                self.database.catalog, engine.planner_config
+            ).plan(bound)
+            return engine.execute_plan(physical)
+
+    def execute_many(
+        self,
+        sql: str,
+        param_sets: Sequence[Sequence[Any]],
+        engine: str | None = None,
+    ) -> list[list[tuple]]:
+        """Prepare once, execute once per parameter vector, in order."""
+        statement = self.prepare(sql, engine)
+        return statement.execute_many(param_sets)
+
+    def statement_output_names(
+        self, statement: PreparedStatement
+    ) -> list[str]:
+        """Column names of a statement's result, from the cached plan."""
+        plan = self._ensure_plan(statement, count=False)
+        if plan.prepared is not None:
+            return plan.prepared.plan.output_names
+        parameterized = statement.parameterized
+        engine = self.database.engine(statement.engine_kind)
+        with self._exec_lock:
+            bound = engine.binder.bind(
+                parameterized.query,
+                param_dtypes={
+                    i: dtype
+                    for i, dtype in enumerate(parameterized.dtypes)
+                    if dtype is not None
+                },
+            )
+        return bound.output_names()
+
+    # -- concurrent sessions ---------------------------------------------------------
+    def submit(
+        self,
+        sql: str,
+        params: Sequence[Any] | None = None,
+        engine: str | None = None,
+    ) -> "Future[list[tuple]]":
+        """Queue a query on the session pool; returns a future.
+
+        Admission is bounded: once ``max_pending`` queries are in
+        flight, further submissions raise
+        :class:`~repro.errors.AdmissionError` instead of queuing without
+        limit — backpressure a serving system must give its clients.
+        """
+        if self._closed:
+            raise ServiceError("query service is closed")
+        with self._state_lock:
+            if self._pending >= self.max_pending:
+                self._rejected += 1
+                raise AdmissionError(
+                    f"session pool saturated ({self._pending} pending, "
+                    f"limit {self.max_pending})"
+                )
+            self._pending += 1
+            self._submitted += 1
+            pool = self._ensure_pool()
+        try:
+            future = pool.submit(self._run_session, sql, params, engine)
+        except RuntimeError as exc:
+            # close() shut the pool down between our admission check and
+            # the submit; release the slot we claimed.
+            with self._state_lock:
+                self._pending -= 1
+                self._rejected += 1
+            raise ServiceError("query service is closed") from exc
+        future.add_done_callback(self._session_cancelled)
+        return future
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        # Caller holds ``_state_lock``.
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-session",
+            )
+        return self._pool
+
+    def _run_session(
+        self,
+        sql: str,
+        params: Sequence[Any] | None,
+        engine: str | None,
+    ) -> list[tuple]:
+        # Counters update in the worker, *before* the future resolves:
+        # a caller returning from future.result() then observes stats()
+        # already settled (a done-callback would race that read).
+        try:
+            result = self.execute(sql, params, engine)
+        except BaseException:
+            with self._state_lock:
+                self._pending -= 1
+                self._failed += 1
+            raise
+        with self._state_lock:
+            self._pending -= 1
+            self._completed += 1
+        return result
+
+    def _session_cancelled(self, future: "Future[list[tuple]]") -> None:
+        # Only a future cancelled while still queued skips _run_session;
+        # its admission slot is released here.
+        if future.cancelled():
+            with self._state_lock:
+                self._pending -= 1
+                self._failed += 1
+
+    # -- invalidation ------------------------------------------------------------------
+    def _on_catalog_change(self, table: str | None) -> None:
+        """DDL or ``analyze`` happened: cached plans may be stale.
+
+        Plans embed table objects, schema offsets and statistics-driven
+        algorithm choices, so the whole cache is dropped (the paper's
+        systems do the same — a prepared statement is re-optimized when
+        its dependencies change).
+        """
+        self.cache.invalidate()
+        with self._state_lock:
+            self._text_index.clear()
+
+    # -- introspection -----------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        with self._state_lock:
+            return ServiceStats(
+                queries=self._queries,
+                text_hits=self._text_hits,
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                rejected=self._rejected,
+                pending=self._pending,
+                cache=self.cache.stats(),
+            )
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting work, drain the pool, release the cache."""
+        if self._closed:
+            return
+        self._closed = True
+        self.database.catalog.remove_listener(self._listener)
+        with self._state_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        self.cache.invalidate()
+        with self._state_lock:
+            self._text_index.clear()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

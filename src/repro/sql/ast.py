@@ -39,6 +39,23 @@ class Literal(Expr):
 
 
 @dataclass(frozen=True)
+class Parameter(Expr):
+    """A query parameter (``?`` placeholder), filled in at execute time.
+
+    Parameters come from two sources: explicit ``?`` markers in the SQL
+    text (numbered left to right by the parser) and the literal
+    parameterization pass (:mod:`repro.sql.parameters`), which rewrites
+    constants out of a query so that structurally identical statements
+    share one cache entry.  ``type_hint`` mirrors
+    :attr:`Literal.type_hint` and is ``"auto"`` for explicit markers,
+    whose type the binder infers from context.
+    """
+
+    index: int
+    type_hint: str = "auto"  # "auto" | "int" | "double" | "string" | "date"
+
+
+@dataclass(frozen=True)
 class Arithmetic(Expr):
     """Binary arithmetic: ``+ - * /``."""
 

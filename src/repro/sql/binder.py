@@ -16,9 +16,12 @@ The binder turns a parsed :class:`~repro.sql.ast.Query` into a
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.errors import BindError, UnsupportedSqlError
 from repro.sql import ast
 from repro.sql.bound import (
+    UNTYPED,
     BoundAggregate,
     BoundArithmetic,
     BoundColumn,
@@ -26,29 +29,60 @@ from repro.sql.bound import (
     BoundExpr,
     BoundLiteral,
     BoundOutput,
+    BoundParameter,
     BoundQuery,
     BoundTable,
     JoinPredicate,
     bindings_in,
+    is_untyped_parameter,
 )
+from repro.sql.parameters import count_parameters
 from repro.storage.catalog import Catalog
 from repro.storage.types import DATE, DOUBLE, INT, DataType, char
 
+#: Parameter type hints carrying enough information to type directly.
+_HINT_DTYPES: dict[str, DataType] = {
+    "int": INT,
+    "double": DOUBLE,
+    "date": DATE,
+}
+
 
 class Binder:
-    """Binds parsed queries against a catalogue."""
+    """Binds parsed queries against a catalogue.
+
+    A binder instance holds no per-query state between :meth:`bind`
+    calls, but one call is not re-entrant — callers sharing a binder
+    across threads must serialize binds (the query service does).
+    """
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
 
     # -- entry point -------------------------------------------------------------
-    def bind(self, query: ast.Query) -> BoundQuery:
+    def bind(
+        self,
+        query: ast.Query,
+        param_dtypes: Mapping[int, DataType] | None = None,
+    ) -> BoundQuery:
+        """Bind one parsed query.
+
+        ``param_dtypes`` supplies known types for parameters by index
+        (the literal-parameterization pass knows them exactly).  Types
+        not supplied are inferred from context: a parameter compared to
+        a column takes the column's type, one inside arithmetic becomes
+        DOUBLE.  A parameter whose type cannot be inferred is a bind
+        error.
+        """
+        dtypes = dict(param_dtypes or {})
         bound = BoundQuery()
         self._bind_tables(query, bound)
-        self._bind_where(query, bound)
-        self._bind_select(query, bound)
-        self._bind_order_by(query, bound)
+        self._bind_where(query, bound, dtypes)
+        self._bind_select(query, bound, dtypes)
+        self._bind_order_by(query, bound, dtypes)
         bound.limit = query.limit
+        bound.num_params = count_parameters(query)
+        _check_no_untyped(bound)
         return bound
 
     # -- FROM ----------------------------------------------------------------------
@@ -67,32 +101,53 @@ class Binder:
 
     # -- scalar expressions -----------------------------------------------------------
     def bind_expr(
-        self, expr: ast.Expr, bound: BoundQuery, allow_aggregates: bool
+        self,
+        expr: ast.Expr,
+        bound: BoundQuery,
+        allow_aggregates: bool,
+        param_dtypes: Mapping[int, DataType] | None = None,
     ) -> BoundExpr:
         if isinstance(expr, ast.ColumnRef):
             return self._resolve_column(expr, bound)
         if isinstance(expr, ast.Literal):
             return _bind_literal(expr)
+        if isinstance(expr, ast.Parameter):
+            dtype = (param_dtypes or {}).get(expr.index)
+            if dtype is None:
+                dtype = _HINT_DTYPES.get(expr.type_hint, UNTYPED)
+            return BoundParameter(expr.index, dtype)
         if isinstance(expr, ast.Arithmetic):
-            left = self.bind_expr(expr.left, bound, allow_aggregates)
-            right = self.bind_expr(expr.right, bound, allow_aggregates)
+            left = self.bind_expr(
+                expr.left, bound, allow_aggregates, param_dtypes
+            )
+            right = self.bind_expr(
+                expr.right, bound, allow_aggregates, param_dtypes
+            )
             return _typed_arithmetic(expr.op, left, right)
         if isinstance(expr, ast.Aggregate):
             if not allow_aggregates:
                 raise BindError(
                     f"aggregate {expr.func.upper()} not allowed here"
                 )
-            return self._bind_aggregate(expr, bound)
+            return self._bind_aggregate(expr, bound, param_dtypes)
         raise BindError(f"cannot bind expression {expr!r}")
 
     def _bind_aggregate(
-        self, expr: ast.Aggregate, bound: BoundQuery
+        self,
+        expr: ast.Aggregate,
+        bound: BoundQuery,
+        param_dtypes: Mapping[int, DataType] | None = None,
     ) -> BoundAggregate:
         if expr.argument is None:
             return BoundAggregate("count", None, INT)
-        argument = self.bind_expr(expr.argument, bound, allow_aggregates=False)
+        argument = self.bind_expr(
+            expr.argument, bound, allow_aggregates=False,
+            param_dtypes=param_dtypes,
+        )
         if isinstance(argument, BoundAggregate):
             raise UnsupportedSqlError("nested aggregates")
+        if is_untyped_parameter(argument):
+            argument = BoundParameter(argument.index, DOUBLE)
         if expr.func == "count":
             dtype: DataType = INT
         elif expr.func == "avg":
@@ -139,12 +194,22 @@ class Binder:
         return matches[0]
 
     # -- WHERE ---------------------------------------------------------------------
-    def _bind_where(self, query: ast.Query, bound: BoundQuery) -> None:
+    def _bind_where(
+        self,
+        query: ast.Query,
+        bound: BoundQuery,
+        param_dtypes: Mapping[int, DataType] | None = None,
+    ) -> None:
         for conjunct in query.where:
-            left = self.bind_expr(conjunct.left, bound, allow_aggregates=False)
-            right = self.bind_expr(
-                conjunct.right, bound, allow_aggregates=False
+            left = self.bind_expr(
+                conjunct.left, bound, allow_aggregates=False,
+                param_dtypes=param_dtypes,
             )
+            right = self.bind_expr(
+                conjunct.right, bound, allow_aggregates=False,
+                param_dtypes=param_dtypes,
+            )
+            left, right = _unify_comparison_params(left, right)
             _check_comparable(left, right, conjunct.op)
             touched = bindings_in(left) | bindings_in(right)
             if len(touched) <= 1:
@@ -170,7 +235,12 @@ class Binder:
             )
 
     # -- SELECT / GROUP BY ---------------------------------------------------------
-    def _bind_select(self, query: ast.Query, bound: BoundQuery) -> None:
+    def _bind_select(
+        self,
+        query: ast.Query,
+        bound: BoundQuery,
+        param_dtypes: Mapping[int, DataType] | None = None,
+    ) -> None:
         if (
             len(query.select_items) == 1
             and isinstance(query.select_items[0].expr, ast.ColumnRef)
@@ -186,7 +256,10 @@ class Binder:
         grouped = bool(group_columns) or query.has_aggregates
 
         for i, item in enumerate(query.select_items):
-            expr = self.bind_expr(item.expr, bound, allow_aggregates=True)
+            expr = self.bind_expr(
+                item.expr, bound, allow_aggregates=True,
+                param_dtypes=param_dtypes,
+            )
             name = item.alias or _default_name(item.expr, i)
             if isinstance(expr, BoundAggregate) or _contains_bound_aggregate(
                 expr
@@ -237,12 +310,19 @@ class Binder:
                 )
 
     # -- ORDER BY ---------------------------------------------------------------------
-    def _bind_order_by(self, query: ast.Query, bound: BoundQuery) -> None:
+    def _bind_order_by(
+        self,
+        query: ast.Query,
+        bound: BoundQuery,
+        param_dtypes: Mapping[int, DataType] | None = None,
+    ) -> None:
         if not query.order_by:
             return
         alias_index = {o.name.lower(): i for i, o in enumerate(bound.select)}
         for item in query.order_by:
-            index = self._resolve_order_key(item.expr, alias_index, bound)
+            index = self._resolve_order_key(
+                item.expr, alias_index, bound, param_dtypes
+            )
             bound.order_by.append((index, item.ascending))
 
     def _resolve_order_key(
@@ -250,13 +330,16 @@ class Binder:
         expr: ast.Expr,
         alias_index: dict[str, int],
         bound: BoundQuery,
+        param_dtypes: Mapping[int, DataType] | None = None,
     ) -> int:
         # 1. Bare name matching a select alias.
         if isinstance(expr, ast.ColumnRef) and expr.table is None:
             if expr.name.lower() in alias_index:
                 return alias_index[expr.name.lower()]
         # 2. Expression equal to some select item's bound expression.
-        key = self.bind_expr(expr, bound, allow_aggregates=True)
+        key = self.bind_expr(
+            expr, bound, allow_aggregates=True, param_dtypes=param_dtypes
+        )
         for i, output in enumerate(bound.select):
             if output.expr == key:
                 return i
@@ -283,6 +366,18 @@ def _bind_literal(literal: ast.Literal) -> BoundLiteral:
 def _typed_arithmetic(
     op: str, left: BoundExpr, right: BoundExpr
 ) -> BoundArithmetic:
+    # Parameters of unknown type inside arithmetic become DOUBLE — the
+    # permissive numeric choice (sum/avg promote to DOUBLE the same way).
+    if is_untyped_parameter(left):
+        left = BoundParameter(
+            left.index,
+            right.dtype if right.dtype.is_numeric else DOUBLE,
+        )
+    if is_untyped_parameter(right):
+        right = BoundParameter(
+            right.index,
+            left.dtype if left.dtype.is_numeric else DOUBLE,
+        )
     if not (left.dtype.is_numeric and right.dtype.is_numeric):
         raise BindError(f"arithmetic {op!r} over non-numeric operands")
     if left.dtype == DOUBLE or right.dtype == DOUBLE or op == "/":
@@ -299,6 +394,45 @@ def _check_comparable(left: BoundExpr, right: BoundExpr, op: str) -> None:
         raise BindError(
             f"cannot compare {left.dtype.name} {op} {right.dtype.name}"
         )
+
+
+def _unify_comparison_params(
+    left: BoundExpr, right: BoundExpr
+) -> tuple[BoundExpr, BoundExpr]:
+    """Give an untyped parameter the type of the other comparison side."""
+    if is_untyped_parameter(left) and is_untyped_parameter(right):
+        raise BindError(
+            "cannot infer the type of a parameter compared only to "
+            "another parameter"
+        )
+    if is_untyped_parameter(left):
+        return BoundParameter(left.index, right.dtype), right
+    if is_untyped_parameter(right):
+        return left, BoundParameter(right.index, left.dtype)
+    return left, right
+
+
+def _check_no_untyped(bound: BoundQuery) -> None:
+    """Every parameter must leave the binder with a concrete type."""
+
+    def walk(expr: BoundExpr) -> None:
+        if is_untyped_parameter(expr):
+            raise BindError(
+                f"cannot infer the type of parameter ?{expr.index + 1}; "
+                f"compare it to a column or use it in arithmetic"
+            )
+        if isinstance(expr, BoundArithmetic):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, BoundAggregate) and expr.argument is not None:
+            walk(expr.argument)
+
+    for output in bound.select:
+        walk(output.expr)
+    for comparisons in bound.filters.values():
+        for comparison in comparisons:
+            walk(comparison.left)
+            walk(comparison.right)
 
 
 def _contains_bound_aggregate(expr: BoundExpr) -> bool:

@@ -41,6 +41,30 @@ class BoundLiteral(BoundExpr):
     dtype: DataType
 
 
+#: Placeholder type for parameters the binder has not yet inferred; it
+#: never survives binding — every :class:`BoundParameter` in a finished
+#: :class:`BoundQuery` carries a real type.
+UNTYPED = DataType("PARAM", "param", 0, "x")
+
+
+@dataclass(frozen=True)
+class BoundParameter(BoundExpr):
+    """An execute-time parameter: ``params[index]`` in generated code.
+
+    Parameterized code generation references the parameter vector
+    instead of an inlined constant, so one compiled plan serves every
+    execution of the statement shape.
+    """
+
+    index: int
+    dtype: DataType
+
+
+def is_untyped_parameter(expr: BoundExpr) -> bool:
+    """Whether ``expr`` is a parameter still awaiting type inference."""
+    return isinstance(expr, BoundParameter) and expr.dtype is UNTYPED
+
+
 @dataclass(frozen=True)
 class BoundArithmetic(BoundExpr):
     """Typed binary arithmetic."""
@@ -120,6 +144,8 @@ class BoundQuery:
     group_by: list[BoundColumn] = field(default_factory=list)
     order_by: list[tuple[int, bool]] = field(default_factory=list)
     limit: int | None = None
+    #: How many execute-time parameters the query references.
+    num_params: int = 0
 
     @property
     def has_aggregates(self) -> bool:
@@ -159,3 +185,31 @@ def _collect_columns(expr: BoundExpr, out: list[BoundColumn]) -> None:
 def bindings_in(expr: BoundExpr) -> set[str]:
     """The set of table bindings an expression touches."""
     return {c.binding for c in columns_in(expr)}
+
+
+def param_dtypes_of(bound: BoundQuery) -> dict[int, DataType]:
+    """Parameter index → resolved type, across a whole bound query.
+
+    The engine uses this to re-bind a statement (fallback re-planning)
+    without repeating type inference.
+    """
+    dtypes: dict[int, DataType] = {}
+
+    def walk(expr: BoundExpr | None) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, BoundParameter):
+            dtypes[expr.index] = expr.dtype
+        elif isinstance(expr, BoundArithmetic):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, BoundAggregate):
+            walk(expr.argument)
+
+    for output in bound.select:
+        walk(output.expr)
+    for comparisons in bound.filters.values():
+        for comparison in comparisons:
+            walk(comparison.left)
+            walk(comparison.right)
+    return dtypes

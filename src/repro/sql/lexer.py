@@ -19,7 +19,7 @@ KEYWORDS = {
 
 #: Multi-character operators first so maximal munch works.
 _OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/",
-              "(", ")", ",", ".", ";")
+              "(", ")", ",", ".", ";", "?")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,340 @@
+"""Literal parameterization: constants out, ``?`` placeholders in.
+
+The paper's headline cost is query *preparation* (Table III), and its
+remedy is the standard one: store "pre-compiled and pre-optimized
+versions of frequently or recently issued queries".  Keyed on raw SQL
+text that cache is nearly useless for point queries — ``WHERE a = 1``
+and ``WHERE a = 2`` each pay full code generation.  This module makes
+the two statements one:
+
+* :func:`extract_parameters` rewrites constant literals in the WHERE
+  clause of a parsed :class:`~repro.sql.ast.Query` into
+  :class:`~repro.sql.ast.Parameter` nodes, returning the extracted
+  values (the parameter vector for this execution) and their types;
+* :func:`render_query` prints a query back as canonical SQL with ``?``
+  placeholders — the *normalized cache key* under which structurally
+  identical statements share one compiled plan;
+* :func:`substitute_parameters` resolves parameters back into literals,
+  which lets engines without parameterized code paths (the iterator and
+  vectorized comparison engines) run prepared statements unchanged.
+
+Only WHERE-clause literals are extracted.  Literals in the select list,
+GROUP BY or ORDER BY stay inline on purpose: they shape the *plan* and
+the *generated code* (output types and widths, constant folding at
+higher optimization levels), so hoisting them would change what the
+cache key must capture.  Queries that already carry explicit ``?``
+markers are never rewritten — the author has chosen the parameter
+boundary and mixing in auto-extracted indexes would scramble it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import BindError
+from repro.sql import ast
+from repro.storage.types import (
+    DATE,
+    DOUBLE,
+    INT,
+    DataType,
+    char,
+    ordinal_to_date,
+)
+
+
+@dataclass(frozen=True)
+class ParameterizedQuery:
+    """The result of normalizing one parsed query."""
+
+    query: ast.Query
+    #: Canonical SQL with ``?`` placeholders — the plan-cache key.
+    key: str
+    #: Values extracted by literal parameterization (empty for queries
+    #: with explicit ``?`` markers, whose values arrive at execute time).
+    values: tuple[Any, ...]
+    #: Per-parameter types; ``None`` where the binder must infer.
+    dtypes: tuple[DataType | None, ...]
+    #: Total number of parameters the query expects at execute time.
+    num_params: int
+
+    @property
+    def type_signature(self) -> tuple[str | None, ...]:
+        """Per-parameter type-family codes, for the plan-cache key.
+
+        Two statements share a compiled plan only when their extracted
+        constants have the same type families — ``WHERE c = 'x1'`` and
+        ``WHERE c = 3`` must not collide, or a warm cache would skip the
+        bind-time comparability check the cold path enforces.  Families
+        (``char`` rather than ``CHAR(2)``) keep strings of different
+        lengths on one entry, since comparability is family-granular.
+        """
+        return tuple(d.code if d is not None else None for d in self.dtypes)
+
+
+def parameterize(query: ast.Query) -> ParameterizedQuery:
+    """Normalize a parsed query for the plan cache.
+
+    Explicit-``?`` queries pass through untouched; literal-only queries
+    have their WHERE constants extracted.  Either way the returned key
+    is canonical SQL, so spelling differences (case, whitespace) also
+    collapse into one cache entry.
+    """
+    explicit = count_parameters(query)
+    if explicit:
+        return ParameterizedQuery(
+            query=query,
+            key=render_query(query),
+            values=(),
+            dtypes=(None,) * explicit,
+            num_params=explicit,
+        )
+    rewritten, values = extract_parameters(query)
+    return ParameterizedQuery(
+        query=rewritten,
+        key=render_query(rewritten),
+        values=values,
+        dtypes=tuple(dtype_for_value(v, h) for v, h in values_with_hints(rewritten, values)),
+        num_params=len(values),
+    )
+
+
+# -- parameter counting ----------------------------------------------------------
+
+
+def count_parameters(query: ast.Query) -> int:
+    """Number of :class:`~repro.sql.ast.Parameter` nodes in a query."""
+    found: set[int] = set()
+
+    def walk(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Parameter):
+            found.add(expr.index)
+        elif isinstance(expr, ast.Arithmetic):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, ast.Aggregate) and expr.argument is not None:
+            walk(expr.argument)
+
+    for item in query.select_items:
+        walk(item.expr)
+    for conjunct in query.where:
+        walk(conjunct.left)
+        walk(conjunct.right)
+    for order in query.order_by:
+        walk(order.expr)
+    return len(found)
+
+
+def parameter_hints(query: ast.Query) -> dict[int, str]:
+    """Parameter index → type hint, for every parameter in the query."""
+    hints: dict[int, str] = {}
+
+    def walk(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Parameter):
+            hints[expr.index] = expr.type_hint
+        elif isinstance(expr, ast.Arithmetic):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, ast.Aggregate) and expr.argument is not None:
+            walk(expr.argument)
+
+    for item in query.select_items:
+        walk(item.expr)
+    for conjunct in query.where:
+        walk(conjunct.left)
+        walk(conjunct.right)
+    for order in query.order_by:
+        walk(order.expr)
+    return hints
+
+
+def values_with_hints(
+    query: ast.Query, values: Sequence[Any]
+) -> list[tuple[Any, str]]:
+    """Pair extracted values with the type hints of their parameters."""
+    hints = parameter_hints(query)
+    return [(value, hints.get(i, "auto")) for i, value in enumerate(values)]
+
+
+# -- literal extraction ----------------------------------------------------------
+
+
+def extract_parameters(
+    query: ast.Query,
+) -> tuple[ast.Query, tuple[Any, ...]]:
+    """Rewrite WHERE-clause literals into parameters.
+
+    Returns the rewritten query plus the extracted constant values, in
+    parameter-index order.  The select list, grouping, ordering and
+    LIMIT are left untouched (their constants stay inline — see the
+    module docstring).  A query already using explicit ``?`` markers is
+    returned unchanged with no extracted values.
+    """
+    if count_parameters(query):
+        return query, ()
+    values: list[Any] = []
+
+    def rewrite(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Literal):
+            parameter = ast.Parameter(len(values), expr.type_hint)
+            values.append(expr.value)
+            return parameter
+        if isinstance(expr, ast.Arithmetic):
+            return ast.Arithmetic(
+                expr.op, rewrite(expr.left), rewrite(expr.right)
+            )
+        return expr
+
+    where = [
+        ast.Comparison(c.op, rewrite(c.left), rewrite(c.right))
+        for c in query.where
+    ]
+    rewritten = dataclasses.replace(query, where=where)
+    return rewritten, tuple(values)
+
+
+def substitute_parameters(
+    query: ast.Query, params: Sequence[Any]
+) -> ast.Query:
+    """Resolve every parameter back into a literal.
+
+    This is the compatibility path for engines that interpret plans
+    rather than generate parameterized code: the substituted query runs
+    through their ordinary pipeline and returns rows identical to the
+    inlined-literal original.
+    """
+    expected = count_parameters(query)
+    if expected != len(params):
+        raise BindError(
+            f"query expects {expected} parameter(s), got {len(params)}"
+        )
+
+    def rewrite(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Parameter):
+            value = params[expr.index]
+            return ast.Literal(value, _literal_hint(value, expr.type_hint))
+        if isinstance(expr, ast.Arithmetic):
+            return ast.Arithmetic(
+                expr.op, rewrite(expr.left), rewrite(expr.right)
+            )
+        if isinstance(expr, ast.Aggregate) and expr.argument is not None:
+            return ast.Aggregate(expr.func, rewrite(expr.argument))
+        return expr
+
+    return dataclasses.replace(
+        query,
+        select_items=[
+            ast.SelectItem(rewrite(item.expr), item.alias)
+            for item in query.select_items
+        ],
+        where=[
+            ast.Comparison(c.op, rewrite(c.left), rewrite(c.right))
+            for c in query.where
+        ],
+        order_by=[
+            ast.OrderItem(rewrite(o.expr), o.ascending)
+            for o in query.order_by
+        ],
+    )
+
+
+def _literal_hint(value: Any, param_hint: str) -> str:
+    if param_hint != "auto":
+        return param_hint
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, float):
+        return "double"
+    return "int"
+
+
+def dtype_for_value(value: Any, hint: str = "auto") -> DataType:
+    """The type an extracted constant binds with (mirrors the binder)."""
+    if hint == "date":
+        return DATE
+    if hint == "string" or isinstance(value, str):
+        return char(max(len(str(value)), 1))
+    if isinstance(value, bool):
+        raise BindError("boolean parameters are not supported")
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return DOUBLE
+    raise BindError(f"cannot type parameter value {value!r}")
+
+
+# -- canonical rendering ----------------------------------------------------------
+
+
+def render_query(query: ast.Query) -> str:
+    """Canonical SQL for a parsed query, parameters printed as ``?``.
+
+    Two statements that parse to the same shape — regardless of keyword
+    case, whitespace or (after :func:`extract_parameters`) constant
+    values — render identically, which is what makes this string the
+    plan-cache key.
+    """
+    parts = ["SELECT "]
+    parts.append(", ".join(_render_select(i) for i in query.select_items))
+    parts.append(" FROM ")
+    parts.append(
+        ", ".join(
+            t.name + (f" {t.alias}" if t.alias else "") for t in query.tables
+        )
+    )
+    if query.where:
+        parts.append(" WHERE ")
+        parts.append(
+            " AND ".join(
+                f"{_render(c.left)} {c.op} {_render(c.right)}"
+                for c in query.where
+            )
+        )
+    if query.group_by:
+        parts.append(" GROUP BY ")
+        parts.append(", ".join(_render(c) for c in query.group_by))
+    if query.order_by:
+        parts.append(" ORDER BY ")
+        parts.append(
+            ", ".join(
+                _render(o.expr) + ("" if o.ascending else " DESC")
+                for o in query.order_by
+            )
+        )
+    if query.limit is not None:
+        parts.append(f" LIMIT {query.limit}")
+    return "".join(parts)
+
+
+def _render_select(item: ast.SelectItem) -> str:
+    rendered = _render(item.expr)
+    if item.alias:
+        return f"{rendered} AS {item.alias}"
+    return rendered
+
+
+def _render(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Parameter):
+        return "?"
+    if isinstance(expr, ast.Literal):
+        return _render_literal(expr)
+    if isinstance(expr, ast.ColumnRef):
+        return expr.display()
+    if isinstance(expr, ast.Arithmetic):
+        return f"({_render(expr.left)} {expr.op} {_render(expr.right)})"
+    if isinstance(expr, ast.Aggregate):
+        if expr.argument is None:
+            return "count(*)"
+        return f"{expr.func}({_render(expr.argument)})"
+    raise BindError(f"cannot render expression {expr!r}")
+
+
+def _render_literal(literal: ast.Literal) -> str:
+    if literal.type_hint == "date":
+        return f"DATE '{ordinal_to_date(literal.value).isoformat()}'"
+    if isinstance(literal.value, str):
+        quoted = literal.value.replace("'", "''")
+        return f"'{quoted}'"
+    return repr(literal.value)

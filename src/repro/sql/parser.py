@@ -42,6 +42,7 @@ from repro.sql.ast import (
     Expr,
     Literal,
     OrderItem,
+    Parameter,
     Query,
     SelectItem,
     TableRef,
@@ -59,6 +60,7 @@ class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+        self._num_params = 0
 
     # -- token plumbing -------------------------------------------------------
     def _peek(self) -> Token:
@@ -247,6 +249,11 @@ class _Parser:
             ):
                 return Literal(-inner.value, inner.type_hint)
             return Arithmetic("-", Literal(0, "int"), inner)
+        if token.is_op("?"):
+            self._advance()
+            parameter = Parameter(self._num_params)
+            self._num_params += 1
+            return parameter
         if token.kind == "number":
             self._advance()
             if "." in token.text:

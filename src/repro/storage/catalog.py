@@ -9,7 +9,7 @@ per-table statistics kept here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import CatalogError
 from repro.storage.buffer import BufferManager
@@ -50,6 +50,28 @@ class Catalog:
         self.buffer = buffer if buffer is not None else BufferManager()
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
+        self._listeners: list[Callable[[str | None], None]] = []
+
+    # -- change notification ------------------------------------------------------
+    def add_listener(self, listener: Callable[[str | None], None]) -> None:
+        """Register a callback fired after DDL or ``analyze``.
+
+        The callback receives the affected table name (lowercased), or
+        ``None`` when every table is affected.  The query service uses
+        this to invalidate cached plans, which embed table references
+        and statistics-driven algorithm choices.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(
+        self, listener: Callable[[str | None], None]
+    ) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, name: str | None) -> None:
+        for listener in list(self._listeners):
+            listener(name)
 
     # -- registration -----------------------------------------------------------
     def create_table(self, name: str, schema: Schema) -> Table:
@@ -59,6 +81,7 @@ class Catalog:
         table = Table(name, schema, buffer=self.buffer)
         self._tables[key] = table
         self._stats[key] = TableStats()
+        self._notify(key)
         return table
 
     def register(self, table: Table) -> Table:
@@ -68,6 +91,7 @@ class Catalog:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[key] = table
         self._stats[key] = TableStats()
+        self._notify(key)
         return table
 
     def drop_table(self, name: str) -> None:
@@ -77,6 +101,7 @@ class Catalog:
         self._tables[key].file.close()
         del self._tables[key]
         del self._stats[key]
+        self._notify(key)
 
     # -- lookup -----------------------------------------------------------------
     def table(self, name: str) -> Table:
@@ -160,3 +185,4 @@ class Catalog:
                     max_value=maxima[i],
                 )
             self._stats[key] = stats
+        self._notify(name.lower() if name is not None else None)

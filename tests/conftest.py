@@ -44,14 +44,9 @@ def simple_catalog() -> Catalog:
 
 @pytest.fixture()
 def simple_db(simple_catalog: Catalog) -> Database:
-    db = Database.__new__(Database)
-    db.buffer = simple_catalog.buffer
-    db.catalog = simple_catalog
-    from repro.plan.optimizer import PlannerConfig
-
-    db.planner_config = PlannerConfig()
-    db._engines = {}
-    return db
+    db = Database(catalog=simple_catalog)
+    yield db
+    db.close()
 
 
 @pytest.fixture(scope="session")

@@ -67,6 +67,43 @@ class TestShell:
         shell.handle(".timing off")
         assert shell.timing is False
 
+    def test_prepare_exec_and_cache_meta_commands(self):
+        shell = self._shell()
+        shell.handle(".tpch 0.0005")
+        assert shell.handle(
+            ".prepare SELECT o_orderkey, o_totalprice FROM orders "
+            "WHERE o_orderkey = ?"
+        )
+        assert "1 parameter(s)" in self._output(shell)
+        assert shell.handle(".exec 1")
+        assert "o_totalprice" in self._output(shell)
+        assert shell.handle(".exec 2")
+        assert shell.handle(".cache")
+        out = self._output(shell)
+        assert "plan cache:" in out
+        assert "WHERE o_orderkey = ?" in out
+        assert shell.handle(".cache clear")
+        assert "plan cache cleared" in self._output(shell)
+
+    def test_exec_errors_are_reported_not_raised(self):
+        shell = self._shell()
+        shell.handle(".tpch 0.0005")
+        assert shell.handle(".exec 1")  # nothing prepared yet
+        assert "no prepared statement" in self._output(shell)
+        shell.handle(".prepare SELECT o_orderkey FROM orders WHERE o_orderkey = ?")
+        assert shell.handle(".exec")
+        assert "expects 1 parameter(s)" in self._output(shell)
+        assert shell.handle(".exec not-a-value")
+        assert "cannot parse parameter" in self._output(shell)
+
+    def test_literal_queries_share_cached_plan(self):
+        shell = self._shell()
+        shell.handle(".tpch 0.0005")
+        shell.handle("SELECT count(*) AS n FROM orders WHERE o_orderkey < 5")
+        shell.handle("SELECT count(*) AS n FROM orders WHERE o_orderkey < 9")
+        stats = shell.db.service.stats()
+        assert stats.cache.hits >= 1
+
     def test_quit_returns_false(self):
         assert self._shell().handle(".quit") is False
 

@@ -1,0 +1,166 @@
+"""Literal parameterization, ``?`` placeholders, and normalization."""
+
+import pytest
+
+from repro.errors import BindError, LexerError
+from repro.sql import ast
+from repro.sql.binder import Binder
+from repro.sql.lexer import tokenize
+from repro.sql.parameters import (
+    count_parameters,
+    extract_parameters,
+    parameterize,
+    render_query,
+    substitute_parameters,
+)
+from repro.sql.parser import parse
+from repro.storage.types import DOUBLE, INT
+
+
+# -- lexer / parser ---------------------------------------------------------------
+
+
+def test_lexer_emits_question_mark_op():
+    kinds = [(t.kind, t.text) for t in tokenize("a = ?")]
+    assert ("op", "?") in kinds
+
+
+def test_parser_numbers_placeholders_left_to_right():
+    query = parse("SELECT a FROM t WHERE a = ? AND b < ? AND c > ?")
+    params = [c.right for c in query.where]
+    assert [p.index for p in params] == [0, 1, 2]
+    assert all(isinstance(p, ast.Parameter) for p in params)
+    assert count_parameters(query) == 3
+
+
+def test_parser_placeholder_in_arithmetic_and_select():
+    query = parse("SELECT a + ? AS ap FROM t WHERE b < ? * 2")
+    assert count_parameters(query) == 2
+
+
+# -- extraction -------------------------------------------------------------------
+
+
+def test_extraction_rewrites_where_literals():
+    query = parse("SELECT a, b FROM t WHERE a = 5 AND b < 2.5")
+    rewritten, values = extract_parameters(query)
+    assert values == (5, 2.5)
+    assert all(
+        isinstance(c.right, ast.Parameter) for c in rewritten.where
+    )
+    # The original query object is untouched.
+    assert all(isinstance(c.right, ast.Literal) for c in query.where)
+
+
+def test_extraction_leaves_select_list_literals_inline():
+    query = parse("SELECT sum(b * (1 - b)) AS s FROM t WHERE a > 3")
+    rewritten, values = extract_parameters(query)
+    assert values == (3,)
+    assert count_parameters(rewritten) == 1  # only the WHERE literal
+
+
+def test_extraction_skips_queries_with_explicit_placeholders():
+    query = parse("SELECT a FROM t WHERE a = ? AND b < 9")
+    rewritten, values = extract_parameters(query)
+    assert values == ()
+    assert rewritten is query
+
+
+def test_extraction_handles_nested_where_arithmetic():
+    query = parse("SELECT a FROM t WHERE a < 2 + 3")
+    rewritten, values = extract_parameters(query)
+    assert values == (2, 3)
+
+
+# -- normalization ----------------------------------------------------------------
+
+
+def test_literal_varying_queries_share_a_key():
+    a = parameterize(parse("SELECT a, b FROM t WHERE a = 1"))
+    b = parameterize(parse("select  A, b from T where a=2"))
+    # Identifiers keep their spelling but keywords/whitespace normalize;
+    # the WHERE constants become placeholders either way.
+    assert a.key == "SELECT a, b FROM t WHERE a = ?"
+    assert a.values == (1,)
+    assert b.values == (2,)
+
+
+def test_placeholder_and_literal_forms_share_a_key():
+    lit = parameterize(parse("SELECT a FROM t WHERE a = 7"))
+    ph = parameterize(parse("SELECT a FROM t WHERE a = ?"))
+    assert lit.key == ph.key
+    assert ph.values == ()
+    assert ph.num_params == 1
+
+
+def test_render_round_trips_through_the_parser():
+    sql = (
+        "SELECT c, sum(b) AS s FROM t WHERE a < 10 AND c = 'x1' "
+        "GROUP BY c ORDER BY s DESC LIMIT 3"
+    )
+    key = parameterize(parse(sql)).key
+    # The canonical form is itself parseable and re-normalizes to itself.
+    assert parameterize(parse(key)).key == key
+
+
+def test_render_preserves_date_literals():
+    sql = "SELECT a FROM t WHERE a <= DATE '1998-09-02'"
+    rendered = render_query(parse(sql))
+    assert "DATE '1998-09-02'" in rendered
+
+
+# -- substitution -----------------------------------------------------------------
+
+
+def test_substitution_restores_literals():
+    query = parse("SELECT a FROM t WHERE a = ? AND b < ?")
+    substituted = substitute_parameters(query, (4, 1.5))
+    assert [c.right.value for c in substituted.where] == [4, 1.5]
+    assert count_parameters(substituted) == 0
+
+
+def test_substitution_checks_arity():
+    query = parse("SELECT a FROM t WHERE a = ?")
+    with pytest.raises(BindError):
+        substitute_parameters(query, ())
+    with pytest.raises(BindError):
+        substitute_parameters(query, (1, 2))
+
+
+# -- binder inference --------------------------------------------------------------
+
+
+def test_binder_infers_parameter_type_from_column(simple_catalog):
+    bound = Binder(simple_catalog).bind(
+        parse("SELECT a FROM t WHERE a = ? AND b < ?")
+    )
+    params = [c.right for c in bound.filters["t"]]
+    assert params[0].dtype == INT
+    assert params[1].dtype == DOUBLE
+    assert bound.num_params == 2
+
+
+def test_binder_infers_string_parameter_from_char_column(simple_catalog):
+    bound = Binder(simple_catalog).bind(parse("SELECT a FROM t WHERE c = ?"))
+    (comparison,) = bound.filters["t"]
+    assert comparison.right.dtype.is_string
+
+
+def test_binder_rejects_uninferable_parameters(simple_catalog):
+    with pytest.raises(BindError):
+        Binder(simple_catalog).bind(parse("SELECT a FROM t WHERE ? = ?"))
+
+
+def test_binder_defaults_arithmetic_parameters_to_double(simple_catalog):
+    bound = Binder(simple_catalog).bind(
+        parse("SELECT sum(b * ?) AS s FROM t")
+    )
+    assert bound.num_params == 1
+
+
+def test_binder_accepts_supplied_parameter_dtypes(simple_catalog):
+    bound = Binder(simple_catalog).bind(
+        parse("SELECT a FROM t WHERE a = ?"), param_dtypes={0: DOUBLE}
+    )
+    (comparison,) = bound.filters["t"]
+    assert comparison.right.dtype == DOUBLE
