@@ -21,6 +21,7 @@ from repro.core import HiqueEngine, OPT_O0, OPT_O2
 from repro.engines.vectorized import VectorizedEngine
 from repro.engines.volcano import VolcanoEngine
 from repro.errors import ReproError
+from repro.parallel import ExecutionStats, ParallelConfig
 from repro.plan.optimizer import PlannerConfig
 from repro.service import PlanCache, PreparedStatement, QueryService
 from repro.storage import (
@@ -48,10 +49,12 @@ __all__ = [
     "DOUBLE",
     "Database",
     "ENGINE_KINDS",
+    "ExecutionStats",
     "HiqueEngine",
     "INT",
     "OPT_O0",
     "OPT_O2",
+    "ParallelConfig",
     "PlanCache",
     "PlannerConfig",
     "PreparedStatement",

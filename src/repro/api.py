@@ -16,6 +16,7 @@ engines are available through :meth:`Database.engine`.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Sequence
 
 from repro.core.emitter import OPT_O2
@@ -23,6 +24,8 @@ from repro.core.engine import HiqueEngine
 from repro.engines.vectorized import VectorizedEngine
 from repro.engines.volcano import VolcanoEngine
 from repro.errors import ReproError
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.stats import ExecutionStats, ParallelConfig
 from repro.plan.optimizer import PlannerConfig
 from repro.service import PreparedStatement, QueryService
 from repro.storage.buffer import BufferManager
@@ -42,7 +45,12 @@ ENGINE_KINDS = (
 
 
 class Database:
-    """A catalogue of tables plus lazily constructed engines."""
+    """A catalogue of tables plus lazily constructed engines.
+
+    Two parallelism knobs with distinct scopes: ``max_workers`` bounds
+    *inter*-query concurrency (the session pool), ``workers`` bounds
+    *intra*-query concurrency (one scan's morsel pool).
+    """
 
     def __init__(
         self,
@@ -51,7 +59,13 @@ class Database:
         cache_capacity: int = 64,
         max_workers: int = 4,
         catalog: Catalog | None = None,
+        workers: int = 4,
+        parallel: bool = True,
     ):
+        """``max_workers`` sizes the *session* pool (concurrent queries);
+        ``workers`` sizes the *morsel* pool inside one query's scan, and
+        ``parallel=False`` pins every execution to the serial entry
+        point."""
         if catalog is not None:
             self.buffer = catalog.buffer
             self.catalog = catalog
@@ -63,7 +77,11 @@ class Database:
         )
         self.cache_capacity = cache_capacity
         self.max_workers = max_workers
+        self.parallel_config = ParallelConfig(
+            workers=workers, enabled=parallel
+        )
         self._engines: dict[str, Any] = {}
+        self._engines_lock = threading.Lock()
         self._service: QueryService | None = None
         # Engine-internal caches (compiled text cache, DSM copies) go
         # stale on DDL and statistics changes, same as service plans.
@@ -77,7 +95,10 @@ class Database:
         return self.catalog.create_table(name, schema)
 
     def load_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
-        return self.catalog.table(name).load_rows(rows)
+        # Bulk loads are writers: take the catalogue's exclusive gate so
+        # no concurrent read query observes a half-loaded table.
+        with self.catalog.exclusive():
+            return self.catalog.table(name).load_rows(rows)
 
     def analyze(self, name: str | None = None) -> None:
         self.catalog.analyze(name)
@@ -92,17 +113,31 @@ class Database:
             raise ReproError(
                 f"unknown engine {kind!r}; choose from {ENGINE_KINDS}"
             )
-        if kind not in self._engines:
-            self._engines[kind] = self._build_engine(kind)
-        return self._engines[kind]
+        # Lock-free hit path; the lock keeps two sessions cold-starting
+        # the same kind from building (and leaking) duplicate engines.
+        engine = self._engines.get(kind)
+        if engine is None:
+            with self._engines_lock:
+                engine = self._engines.get(kind)
+                if engine is None:
+                    engine = self._build_engine(kind)
+                    self._engines[kind] = engine
+        return engine
 
     def _build_engine(self, kind: str):
         config = self.planner_config
         if kind == "hique":
-            return HiqueEngine(self.catalog, planner_config=config)
+            return HiqueEngine(
+                self.catalog,
+                planner_config=config,
+                parallel=self.parallel_config,
+            )
         if kind == "hique-o0":
             return HiqueEngine(
-                self.catalog, planner_config=config, opt_level="O0"
+                self.catalog,
+                planner_config=config,
+                opt_level="O0",
+                parallel=self.parallel_config,
             )
         if kind == "volcano":
             return VolcanoEngine(self.catalog, planner_config=config)
@@ -115,6 +150,64 @@ class Database:
                 self.catalog, buffered=True, planner_config=config
             )
         return VectorizedEngine(self.catalog, planner_config=config)
+
+    # -- parallelism knobs ---------------------------------------------------------------
+    def set_parallel(
+        self,
+        workers: int | None = None,
+        enabled: bool | None = None,
+        morsel_pages: int | None = None,
+        min_pages: int | None = None,
+        allow_float_reorder: bool | None = None,
+    ) -> ParallelConfig:
+        """Reconfigure morsel-driven parallelism at run time.
+
+        Applies to engines built afterwards *and* retunes the already
+        built code-generating engines: their morsel pools are retired
+        and rebuilt lazily, while in-flight executions drain on the old
+        pool with the configuration they started with.
+        """
+        current = self.parallel_config
+        self.parallel_config = ParallelConfig(
+            workers=workers if workers is not None else current.workers,
+            morsel_pages=(
+                morsel_pages
+                if morsel_pages is not None
+                else current.morsel_pages
+            ),
+            enabled=enabled if enabled is not None else current.enabled,
+            min_pages=(
+                min_pages if min_pages is not None else current.min_pages
+            ),
+            allow_float_reorder=(
+                allow_float_reorder
+                if allow_float_reorder is not None
+                else current.allow_float_reorder
+            ),
+        )
+        for kind in ("hique", "hique-o0"):
+            engine = self._engines.get(kind)
+            if engine is not None:
+                if engine.parallel is not None:
+                    engine.parallel.reconfigure(self.parallel_config)
+                else:
+                    engine.parallel = ParallelExecutor(self.parallel_config)
+        return self.parallel_config
+
+    def last_exec_stats(self, engine: str = "hique") -> ExecutionStats | None:
+        """How the given engine's most recent execution ran (or None)."""
+        built = self._engines.get(engine)
+        return getattr(built, "last_exec_stats", None)
+
+    def parallel_counters(self) -> tuple[int, int]:
+        """(parallel, serial) execution counts across built engines."""
+        parallel_runs = serial_runs = 0
+        for built in self._engines.values():
+            executor = getattr(built, "parallel", None)
+            if executor is not None:
+                parallel_runs += executor.parallel_runs
+                serial_runs += executor.serial_runs
+        return parallel_runs, serial_runs
 
     def _on_catalog_change(self, table: str | None) -> None:
         for kind in ("hique", "hique-o0"):

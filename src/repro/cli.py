@@ -16,6 +16,8 @@ executed through ``.prepare`` / ``.exec``.  Meta-commands:
 * ``.exec [v1, v2, ...]`` — run the last prepared statement with the
   given parameter values (int, float or 'string')
 * ``.cache [clear]`` — show (or reset) plan-cache and service stats
+* ``.workers <n>`` — set the morsel-scan worker count
+* ``.parallel on|off`` — toggle morsel-driven parallel execution
 * ``.tpch [sf]`` — load a TPC-H instance (default scale factor 0.002)
 * ``.timing on|off`` — toggle per-query timing
 * ``.quit`` — exit
@@ -118,6 +120,26 @@ class Shell:
             self._exec(argument)
         elif command == ".cache":
             self._cache(argument)
+        elif command == ".workers":
+            try:
+                config = self.db.set_parallel(workers=int(argument))
+            except (ValueError, ReproError):
+                self.write("usage: .workers <positive integer>")
+            else:
+                self.write(
+                    f"morsel workers set to {config.workers} "
+                    f"(parallel {'on' if config.enabled else 'off'})"
+                )
+        elif command == ".parallel":
+            if argument not in ("on", "off"):
+                self.write("usage: .parallel on|off")
+            else:
+                config = self.db.set_parallel(enabled=argument == "on")
+                self.write(
+                    f"parallel execution {'on' if config.enabled else 'off'} "
+                    f"({config.workers} workers, "
+                    f"{config.morsel_pages} pages/morsel)"
+                )
         elif command == ".tpch":
             scale = float(argument) if argument else 0.002
             from repro.bench.tpch import generate_tpch
@@ -171,7 +193,8 @@ class Shell:
         self.write_rows(self._statement_names(self.last_statement), rows)
         if self.timing:
             self.write(f"[{self.last_statement.engine_kind}] "
-                       f"{elapsed * 1000:.2f} ms")
+                       f"{elapsed * 1000:.2f} ms"
+                       f"{self._exec_suffix(self.last_statement.engine_kind)}")
 
     def _cache(self, argument: str) -> None:
         service = self.db.service
@@ -187,15 +210,24 @@ class Shell:
             f"{cache.evictions} evictions, {cache.invalidations} "
             f"invalidations ({cache.hit_rate * 100:.0f}% hit rate)"
         )
+        self.write(f"admission policy: {cache.policy}")
         self.write(
             f"preparation saved: {cache.seconds_saved * 1000:.2f} ms; "
             f"service: {stats.queries} queries, {stats.text_hits} "
             f"text hits, {stats.completed} pooled, {stats.rejected} "
             f"rejected"
         )
+        parallel_runs, serial_runs = self.db.parallel_counters()
+        self.write(
+            f"engine executions: {parallel_runs} parallel, "
+            f"{serial_runs} serial"
+        )
         for entry in reversed(service.cache.entries()):
             kind, key, _signature = entry.key
-            self.write(f"  [{entry.hits:>4} hits] ({kind}) {key}")
+            self.write(
+                f"  [{entry.hits:>4} hits, {entry.seconds_saved * 1000:8.2f}"
+                f" ms saved, {entry.size_bytes:>7} B] ({kind}) {key}"
+            )
 
     def _run_sql(self, sql: str) -> None:
         try:
@@ -209,8 +241,16 @@ class Shell:
         self.write_rows(self._statement_names(statement), rows)
         if self.timing:
             self.write(
-                f"[{self.engine_kind}] {elapsed * 1000:.2f} ms"
+                f"[{statement.engine_kind}] {elapsed * 1000:.2f} ms"
+                f"{self._exec_suffix(statement.engine_kind)}"
             )
+
+    def _exec_suffix(self, engine_kind: str) -> str:
+        """Timing-line annotation: how that engine actually executed."""
+        stats = self.db.last_exec_stats(engine_kind)
+        if stats is None or not stats.parallel:
+            return ""
+        return f" ({stats.describe()})"
 
     def _statement_names(self, statement: PreparedStatement) -> list[str]:
         try:

@@ -16,6 +16,7 @@ import marshal
 import os
 import shutil
 import tempfile
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -58,6 +59,10 @@ class QueryCompiler:
         self.workdir = workdir
         os.makedirs(workdir, exist_ok=True)
         self._counter = 0
+        # Concurrent sessions may compile at once (e.g. the engine's
+        # stale-statistics fallback path); the counter hands each
+        # compilation a distinct module name and file.
+        self._counter_lock = threading.Lock()
 
     def close(self) -> None:
         """Delete the generated-source directory, if this compiler owns it.
@@ -76,9 +81,11 @@ class QueryCompiler:
 
     def compile(self, generated: GeneratedQuery) -> CompiledQuery:
         """Write, compile and load one generated module."""
-        self._counter += 1
+        with self._counter_lock:
+            self._counter += 1
+            serial = self._counter
         os.makedirs(self.workdir, exist_ok=True)
-        file_name = f"{_sanitize(generated.name)}_{self._counter}.py"
+        file_name = f"{_sanitize(generated.name)}_{serial}.py"
         source_path = os.path.join(self.workdir, file_name)
         with open(source_path, "w", encoding="utf-8") as handle:
             handle.write(generated.source)
@@ -91,7 +98,7 @@ class QueryCompiler:
                 f"generated code does not compile: {exc}\n"
                 f"--- generated source ---\n{generated.source}"
             ) from exc
-        namespace: dict[str, Any] = {"__name__": f"hique_generated_{self._counter}"}
+        namespace: dict[str, Any] = {"__name__": f"hique_generated_{serial}"}
         exec(code, namespace)  # noqa: S102 - this *is* the dynamic linker
         elapsed = time.perf_counter() - started
 

@@ -22,6 +22,8 @@ from repro.core.executor import run_compiled
 from repro.core.generator import CodeGenerator, GeneratedQuery
 from repro.errors import ExecutionError, MapDirectoryOverflow
 from repro.memsim.probe import NULL_PROBE, NullProbe
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.stats import ExecutionStats, ParallelConfig
 from repro.plan.descriptors import AGG_HYBRID, PhysicalPlan
 from repro.plan.optimizer import Optimizer, PlannerConfig
 from repro.sql import ast
@@ -81,6 +83,7 @@ class HiqueEngine:
         planner_config: PlannerConfig | None = None,
         opt_level: str = OPT_O2,
         workdir: str | None = None,
+        parallel: ParallelConfig | None = None,
     ):
         self.catalog = catalog
         self.planner_config = (
@@ -91,6 +94,13 @@ class HiqueEngine:
         self.generator = CodeGenerator()
         self.compiler = QueryCompiler(workdir)
         self._cache: dict[tuple[str, str, bool], PreparedQuery] = {}
+        #: Morsel-driven intra-query parallelism; None keeps every
+        #: execution on the serial composed entry point.
+        self.parallel = (
+            ParallelExecutor(parallel) if parallel is not None else None
+        )
+        #: How the most recent execution ran (set per execute call).
+        self.last_exec_stats: ExecutionStats | None = None
 
     # -- preparation ----------------------------------------------------------------
     def prepare(
@@ -185,6 +195,12 @@ class HiqueEngine:
                 f"got {len(params)}"
             )
         try:
+            if self.parallel is not None:
+                rows, stats = self.parallel.run(
+                    prepared, params=params, probe=probe
+                )
+                self.last_exec_stats = stats
+                return rows
             return run_compiled(
                 prepared.compiled, prepared.plan, probe=probe, params=params
             )
@@ -203,9 +219,18 @@ class HiqueEngine:
                 planner_config=fallback_config,
                 param_dtypes=param_dtypes_of(prepared.bound),
             )
-            return run_compiled(
+            started = time.perf_counter()
+            rows = run_compiled(
                 fallback.compiled, fallback.plan, probe=probe, params=params
             )
+            if self.parallel is not None:
+                self.last_exec_stats = self.parallel.note_serial(
+                    len(rows),
+                    time.perf_counter() - started,
+                    "map-directory overflow: re-planned with hybrid "
+                    "aggregation",
+                )
+            return rows
 
     # -- introspection ------------------------------------------------------------------
     def generate_source(
@@ -229,6 +254,8 @@ class HiqueEngine:
     def close(self) -> None:
         """Drop cached plans and delete the compiler's work directory."""
         self.clear_cache()
+        if self.parallel is not None:
+            self.parallel.close()
         self.compiler.close()
 
     def __enter__(self) -> "HiqueEngine":

@@ -98,11 +98,17 @@ def scan_filter_project(
     table,
     predicate: Callable[[Row], bool] | None,
     projector: Callable[[Row], Row] | None,
+    page_lo: int = 0,
+    page_hi: int | None = None,
 ) -> Rows:
-    """Generic staging scan: decode, filter, project row by row."""
+    """Generic staging scan: decode, filter, project row by row.
+
+    ``page_lo``/``page_hi`` bound the scan to one morsel's page range;
+    the defaults scan the whole table (the serial path).
+    """
     out: Rows = []
     append = out.append
-    for page in table.pages():
+    for page in table.pages(page_lo, page_hi):
         for row in page.rows():
             if predicate is not None and not predicate(row):
                 continue
@@ -289,6 +295,30 @@ def hash_group_aggregate(
             order.append(key)
         update(state, row)
     return [finalize(key, groups[key]) for key in order]
+
+
+def generic_partial(rows: Rows, helpers) -> dict[tuple, list[list]]:
+    """Thread-local partial aggregation for the O0 morsel path.
+
+    Accumulates one morsel's rows with the operator's generic helpers,
+    then converts each group's states to the mergeable 4-slot
+    ``[sum, count, minimum, maximum]`` representation the parallel
+    executor's merge step consumes (see
+    :func:`repro.parallel.executor.merge_aggregate_partials`).
+    """
+    groups: dict[tuple, list] = {}
+    for row in rows:
+        key = helpers.key_fn(row)
+        state = groups.get(key)
+        if state is None:
+            state = groups[key] = helpers.init()
+        helpers.update(state, row)
+    return {
+        key: [
+            [st.total, st.count, st.minimum, st.maximum] for st in states
+        ]
+        for key, states in groups.items()
+    }
 
 
 def limit_rows(rows: Rows, count: int) -> Rows:

@@ -117,6 +117,45 @@ class _AggCompiler:
                 lines.append(f"    {var} = _v")
         return lines
 
+    # -- morsel-parallel partial states ----------------------------------------
+    #
+    # The parallel executor merges per-morsel partials represented as one
+    # 4-slot list ``[sum, count, minimum, maximum]`` per aggregate node —
+    # a shape that merges without knowing the aggregate function (sums
+    # and counts add, minima/maxima compare).
+
+    def partial_init_source(self) -> str:
+        """Source of a fresh per-group partial-state list."""
+        parts = []
+        for node in self.aggregates:
+            zero = "0.0" if node.dtype == DOUBLE else "0"
+            parts.append(f"[{zero}, 0, None, None]")
+        return "[" + ", ".join(parts) + "]"
+
+    def partial_update_lines(self, row_var: str) -> list[str]:
+        """Update lines against hoisted ``_a{k}`` state aliases."""
+        lines = []
+        for k, node in enumerate(self.aggregates):
+            arg = (
+                expr_source(node.argument, self.input_layout, row_var)
+                if node.argument is not None
+                else None
+            )
+            state = f"_a{k}"
+            if node.func in ("sum", "avg"):
+                lines.append(f"{state}[0] += {arg}")
+            if node.func in ("count", "avg"):
+                lines.append(f"{state}[1] += 1")
+            if node.func == "min":
+                lines.append(f"_v = {arg}")
+                lines.append(f"if {state}[2] is None or _v < {state}[2]:")
+                lines.append(f"    {state}[2] = _v")
+            if node.func == "max":
+                lines.append(f"_v = {arg}")
+                lines.append(f"if {state}[3] is None or _v > {state}[3]:")
+                lines.append(f"    {state}[3] = _v")
+        return lines
+
     def result_source(self, node: BoundAggregate) -> str:
         names = self.acc_vars[node]
         if node.func == "sum":
@@ -182,8 +221,10 @@ def emit_aggregate(
     compiler = _AggCompiler(op, input_layout)
     if not op.group_positions:
         _emit_global_aggregate(em, gen, op, func_name, compiler)
+        _emit_partial_aggregate(em, gen, op, func_name, compiler)
     elif op.algorithm == AGG_MAP:
         _emit_map_aggregate(em, gen, op, func_name, compiler)
+        _emit_partial_aggregate(em, gen, op, func_name, compiler)
     elif op.algorithm == AGG_SORT:
         _emit_sorted_aggregate(em, gen, op, func_name, compiler, hybrid=False)
     elif op.algorithm == AGG_HYBRID:
@@ -223,6 +264,68 @@ def _emit_global_aggregate(
         em.emit(
             f"return [{compiler.output_tuple_source(lambda i: '_none_')}]"
         )
+    em.emit()
+
+
+# -- morsel-parallel partial aggregation -------------------------------------------------
+
+
+def _emit_partial_aggregate(
+    em: Emitter,
+    gen: GenContext,
+    op: Aggregate,
+    func_name: str,
+    compiler: _AggCompiler,
+) -> None:
+    """Emit the thread-local partial entry point ``<name>_partial``.
+
+    Emitted for the aggregation kinds whose input needs no global order
+    (ungrouped aggregation and value-directory map aggregation): each
+    parallel worker folds its morsels' staged rows into per-group 4-slot
+    states, which the executor merges and finalizes (see
+    :func:`repro.parallel.executor.merge_aggregate_partials`).
+    """
+    with em.block(f"def {func_name}_partial(ctx, rows):"):
+        if not gen.optimized:
+            em.emit(
+                f"return _rt.generic_partial(rows, "
+                f"ctx.agg_helpers[{op.op_id}])"
+            )
+        elif not op.group_positions:
+            if _uses_params(op):
+                em.emit(f"{PARAMS_LOCAL} = ctx.params")
+            with em.block("if not rows:"):
+                em.emit("return {}")
+            em.emit(f"_st = {compiler.partial_init_source()}")
+            for k in range(len(compiler.aggregates)):
+                em.emit(f"_a{k} = _st[{k}]")
+            with em.block("for row in rows:"):
+                for line in compiler.partial_update_lines("row"):
+                    em.emit(line)
+            em.emit("return {(): _st}")
+        else:
+            if _uses_params(op):
+                em.emit(f"{PARAMS_LOCAL} = ctx.params")
+            em.emit("groups = {}")
+            em.emit("get = groups.get")
+            key_parts = ", ".join(
+                f"row[{position}]" for position in op.group_positions
+            )
+            if len(op.group_positions) == 1:
+                key_parts += ","
+            with em.block("for row in rows:"):
+                em.emit(f"_k = ({key_parts})")
+                em.emit("_st = get(_k)")
+                with em.block("if _st is None:"):
+                    em.emit(
+                        f"_st = groups[_k] = "
+                        f"{compiler.partial_init_source()}"
+                    )
+                for k in range(len(compiler.aggregates)):
+                    em.emit(f"_a{k} = _st[{k}]")
+                for line in compiler.partial_update_lines("row"):
+                    em.emit(line)
+            em.emit("return groups")
     em.emit()
 
 

@@ -33,7 +33,13 @@ from repro.storage.page import HEADER_SIZE
 def emit_scan_stage(
     em: Emitter, gen: GenContext, op: ScanStage, func_name: str
 ) -> None:
-    """Emit one staging function for a base-table input."""
+    """Emit one staging function for a base-table input.
+
+    The function is *morsel-aware*: it accepts an optional page range
+    ``(_lo, _hi)`` so the parallel executor can run the same inlined
+    scan loop over one slice of the table per worker.  The serial
+    composer calls it with the defaults, which scan every page.
+    """
     if gen.optimized:
         _emit_scan_optimized(em, gen, op, func_name)
     else:
@@ -76,16 +82,18 @@ def _emit_scan_optimized(
     row_bytes = len(slots) * 8
     per_tuple_instr = _scan_instr_estimate(op, len(projected))
 
-    with em.block(f"def {func_name}(ctx):"):
+    with em.block(f"def {func_name}(ctx, _lo=0, _hi=None):"):
         em.emit(f'table = ctx.tables["{op.binding}"]')
         em.emit("read_page = table.read_page")
+        em.emit("if _hi is None:")
+        em.emit("    _hi = table.num_pages")
         if comparisons_contain_parameter(op.filters):
             em.emit(f"{PARAMS_LOCAL} = ctx.params")
         _emit_collector_init(em, gen, op, row_bytes, "table.num_rows")
         if gen.traced:
             em.emit("_probe = ctx.probe")
             em.emit("_fid = table.file.file_id")
-        with em.block("for p in range(table.num_pages):"):
+        with em.block("for p in range(_lo, _hi):"):
             em.emit("page = read_page(p)")
             em.emit("data = page.data")
             if gen.traced:
@@ -261,12 +269,12 @@ def _emit_scan_generic(
     em: Emitter, gen: GenContext, op: ScanStage, func_name: str
 ) -> None:
     prep = op.prep
-    with em.block(f"def {func_name}(ctx):"):
+    with em.block(f"def {func_name}(ctx, _lo=0, _hi=None):"):
         em.emit(f'table = ctx.tables["{op.binding}"]')
         em.emit(
             f"out = _rt.scan_filter_project(table, "
             f"ctx.predicates.get({op.op_id}), "
-            f"ctx.projectors.get({op.op_id}))"
+            f"ctx.projectors.get({op.op_id}), _lo, _hi)"
         )
         _emit_generic_prep(em, prep, "out")
         em.emit(f"return {_result_var(prep)}")

@@ -17,6 +17,7 @@ vertically partitioned tables:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -75,6 +76,9 @@ class VectorizedEngine:
         )
         self.binder = Binder(catalog)
         self._columnar: dict[str, ColumnTable] = {}
+        # Concurrent sessions may fault in the same DSM conversion; the
+        # lock keeps the cache consistent (and the conversion single).
+        self._columnar_lock = threading.Lock()
 
     # -- DSM loading -------------------------------------------------------------
     def column_table(self, name: str) -> ColumnTable:
@@ -84,9 +88,17 @@ class VectorizedEngine:
         loads the data set into MonetDB before measuring queries.
         """
         key = name.lower()
-        if key not in self._columnar:
-            self._columnar[key] = from_table(self.catalog.table(name))
-        return self._columnar[key]
+        # Lock-free hit path (dict reads are atomic): concurrent queries
+        # on converted tables never queue behind a cold conversion.
+        table = self._columnar.get(key)
+        if table is not None:
+            return table
+        with self._columnar_lock:
+            table = self._columnar.get(key)
+            if table is None:
+                table = from_table(self.catalog.table(name))
+                self._columnar[key] = table
+            return table
 
     def preload(self) -> None:
         """Convert every catalogued table ahead of benchmarking."""
@@ -94,10 +106,11 @@ class VectorizedEngine:
             self.column_table(table.name)
 
     def invalidate(self, name: str | None = None) -> None:
-        if name is None:
-            self._columnar.clear()
-        else:
-            self._columnar.pop(name.lower(), None)
+        with self._columnar_lock:
+            if name is None:
+                self._columnar.clear()
+            else:
+                self._columnar.pop(name.lower(), None)
 
     # -- execution ----------------------------------------------------------------
     def plan(

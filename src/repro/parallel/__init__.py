@@ -1,0 +1,54 @@
+"""The parallel execution subsystem.
+
+Three layers turn the single-threaded reproduction into a concurrent
+engine:
+
+* **thread-safe storage** — the buffer manager latches its frame table
+  (pool-level lock for lookup/eviction, per-frame pin counts so pinned
+  pages are never evicted under a reader), page files use positioned
+  reads, and the catalogue gates DDL behind a
+  :class:`~repro.parallel.latch.ReadWriteLatch`;
+* **morsel-driven intra-query parallelism** — a
+  :class:`~repro.parallel.morsel.MorselDispatcher` slices table scans
+  into page-range morsels and the
+  :class:`~repro.parallel.executor.ParallelExecutor` runs generated
+  scan/partial-aggregation code per morsel with thread-local state,
+  merging partials order-preservingly;
+* **a concurrent service** — the query service admits concurrent
+  readers through the catalogue's read gate instead of a global
+  execution lock (see :mod:`repro.service.service`).
+
+This ``__init__`` stays import-light (the storage layer imports the
+latch); the executor is imported lazily on first attribute access.
+"""
+
+from repro.parallel.latch import ReadWriteLatch
+from repro.parallel.morsel import (
+    DEFAULT_MORSEL_PAGES,
+    Morsel,
+    MorselDispatcher,
+    morsels_for,
+)
+from repro.parallel.stats import ExecutionStats, ParallelConfig
+
+__all__ = [
+    "DEFAULT_MORSEL_PAGES",
+    "ExecutionStats",
+    "Morsel",
+    "MorselDispatcher",
+    "ParallelConfig",
+    "ParallelExecutor",
+    "ReadWriteLatch",
+    "merge_aggregate_partials",
+    "morsels_for",
+]
+
+
+def __getattr__(name: str):
+    # ``executor`` pulls in the core/plan stack; importing it here
+    # eagerly would cycle through storage → parallel → core → storage.
+    if name in ("ParallelExecutor", "merge_aggregate_partials"):
+        from repro.parallel import executor
+
+        return getattr(executor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,464 @@
+"""Morsel-driven parallel execution of generated query code.
+
+The serial executor calls a generated module's composed ``run_query``
+entry point.  This executor instead drives the module's *morsel-aware*
+entry points directly:
+
+* the generated staging function for the plan's scan is called once per
+  :class:`~repro.parallel.morsel.Morsel` with an explicit page range —
+  the same inlined scan–filter–project loop, restricted to a slice of
+  the table;
+* for aggregation plans, each worker folds its morsels into
+  *thread-local partial states* through the generated ``*_partial``
+  function; partials are merged here, group by group, and finalized
+  against the plan's output expressions;
+* projections run per morsel (a pure row map); final ORDER BY / LIMIT
+  run once over the merged result through the generated functions.
+
+Workers pull morsels from a shared :class:`MorselDispatcher`, so load
+balances dynamically; partial results are reassembled in morsel order,
+which keeps parallel output row-for-row identical to a serial run.
+
+Plans outside the supported shape — joins, staged (sorted/partitioned)
+inputs, traced runs — fall back to the serial entry point; the
+:class:`ExecutionStats` returned with every result says which way the
+query went and why.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.emitter import OPT_O2
+from repro.core.executor import build_context, run_compiled
+from repro.core.templates.aggregate import collect_aggregates
+from repro.errors import MapDirectoryOverflow
+from repro.memsim.probe import NULL_PROBE, NullProbe
+from repro.parallel.morsel import MorselDispatcher
+from repro.parallel.stats import ExecutionStats, ParallelConfig
+from repro.plan.descriptors import (
+    AGG_MAP,
+    Aggregate,
+    Limit,
+    PREP_NONE,
+    PhysicalPlan,
+    Project,
+    ScanStage,
+    Sort,
+)
+from repro.sql.bound import (
+    BoundAggregate,
+    BoundArithmetic,
+    BoundColumn,
+    BoundParameter,
+)
+from repro.storage.types import DOUBLE
+
+
+@dataclass
+class _ParallelShape:
+    """A plan sliced into its morsel-parallel and serial parts."""
+
+    scan: ScanStage
+    aggregate: Aggregate | None = None
+    project: Project | None = None
+    #: Final Sort/Limit operators, run serially over the merged rows.
+    tail: list = field(default_factory=list)
+
+
+def analyze_plan(plan: PhysicalPlan) -> tuple[_ParallelShape | None, str]:
+    """Decide whether a plan fits the morsel-parallel shape.
+
+    Supported: one unstaged table scan, optionally followed by either a
+    projection or an aggregation (ungrouped, or grouped with map
+    aggregation — the algorithms whose input needs no global order),
+    then any run of Sort/Limit.  Everything else — joins, restaging,
+    sort/hybrid aggregation — reports a reason and runs serially.
+    """
+    operators = list(plan.operators)
+    scan = operators[0]
+    if not isinstance(scan, ScanStage):
+        return None, "plan does not start with a table scan"
+    if any(isinstance(op, ScanStage) for op in operators[1:]):
+        return None, "multi-table plan (joins run serially)"
+    if scan.prep.kind != PREP_NONE:
+        return None, f"scan staging prep {scan.prep.kind!r} needs global order"
+
+    shape = _ParallelShape(scan=scan)
+    rest = operators[1:]
+    if rest and isinstance(rest[0], Aggregate):
+        aggregate = rest[0]
+        if aggregate.group_positions and aggregate.algorithm != AGG_MAP:
+            return (
+                None,
+                f"{aggregate.algorithm} aggregation needs ordered input",
+            )
+        shape.aggregate = aggregate
+        rest = rest[1:]
+    elif rest and isinstance(rest[0], Project):
+        shape.project = rest[0]
+        rest = rest[1:]
+    for op in rest:
+        if not isinstance(op, (Sort, Limit)):
+            return None, f"operator {type(op).__name__} is not parallelized"
+        shape.tail.append(op)
+    return shape, ""
+
+
+class ParallelExecutor:
+    """Runs prepared queries over a shared worker pool.
+
+    One instance per engine; thread-safe, so concurrent sessions share
+    the pool and their morsels interleave.  ``run()`` never changes
+    result semantics: it either executes the morsel-parallel shape with
+    order-preserving merges or delegates to the serial entry point.
+    """
+
+    def __init__(self, config: ParallelConfig | None = None):
+        self.config = config if config is not None else ParallelConfig()
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self.parallel_runs = 0
+        self.serial_runs = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+    def _submit(self, fn, count: int) -> list:
+        """Create the pool if needed and submit ``count`` tasks.
+
+        Pool creation and submission share one critical section with
+        :meth:`reconfigure`/:meth:`close`, so a task is never submitted
+        to a pool that has been retired.
+        """
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="repro-morsel",
+                )
+            return [self._pool.submit(fn) for _ in range(count)]
+
+    def reconfigure(self, config: ParallelConfig) -> None:
+        """Swap the configuration and retire the current worker pool.
+
+        Safe against in-flight runs: they captured the old config on
+        entry and already hold futures on the old pool, which drains
+        them before shutting down; later runs lazily build a fresh pool
+        sized to the new configuration.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self.config = config
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- execution ----------------------------------------------------------------
+    def run(
+        self,
+        prepared,
+        params: tuple = (),
+        probe: NullProbe = NULL_PROBE,
+    ) -> tuple[list[tuple], ExecutionStats]:
+        """Execute a :class:`~repro.core.engine.PreparedQuery`.
+
+        Returns ``(rows, stats)``; rows are identical to what the serial
+        entry point produces for the same inputs.
+        """
+        started = time.perf_counter()
+        # One consistent view of the knobs for the whole run, even if a
+        # concurrent reconfigure() swaps self.config mid-execution.
+        config = self.config
+        shape, reason = self._classify(prepared, probe, config)
+        if shape is None:
+            rows = run_compiled(
+                prepared.compiled, prepared.plan, probe=probe, params=params
+            )
+            return rows, self.note_serial(
+                len(rows), time.perf_counter() - started, reason
+            )
+
+        rows, morsels, pages, workers = self._run_parallel(
+            prepared, shape, params, config
+        )
+        with self._lock:
+            self.parallel_runs += 1
+        stats = ExecutionStats(
+            parallel=True,
+            workers=workers,
+            morsels=morsels,
+            pages=pages,
+            rows=len(rows),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return rows, stats
+
+    def note_serial(
+        self, num_rows: int, elapsed_seconds: float, reason: str
+    ) -> ExecutionStats:
+        """Account for a serial execution and describe it.
+
+        Also used by the engine when a parallel attempt aborts (map
+        directory overflow) and the re-planned query runs serially
+        outside :meth:`run`.
+        """
+        with self._lock:
+            self.serial_runs += 1
+        return ExecutionStats(
+            parallel=False,
+            rows=num_rows,
+            elapsed_seconds=elapsed_seconds,
+            reason=reason,
+        )
+
+    def _classify(
+        self, prepared, probe: NullProbe, config: ParallelConfig
+    ) -> tuple[_ParallelShape | None, str]:
+        """(shape, "") to go parallel; (None, reason) for the serial path."""
+        if not config.enabled:
+            return None, "parallel execution disabled"
+        if config.workers <= 1:
+            return None, "single worker configured"
+        if probe.enabled:
+            return None, "traced execution (probe is not thread-safe)"
+        if prepared.compiled.traced:
+            # A traced module dereferences ctx.probe internals; without
+            # a probe the serial path raises the proper ExecutionError.
+            return None, "traced module (runs on the serial entry point)"
+        shape, reason = analyze_plan(prepared.plan)
+        if shape is None:
+            return None, reason
+        if shape.scan.table.num_pages < config.min_pages:
+            return None, (
+                f"table has {shape.scan.table.num_pages} pages "
+                f"(< min_pages {config.min_pages})"
+            )
+        if shape.aggregate is not None:
+            name = prepared.generated.function_names[shape.aggregate.op_id]
+            if f"{name}_partial" not in prepared.compiled.namespace:
+                return None, "generated module lacks a partial-aggregation entry"
+            if not config.allow_float_reorder:
+                for node in collect_aggregates(shape.aggregate):
+                    if (
+                        node.func in ("sum", "avg")
+                        and node.argument is not None
+                        and node.argument.dtype == DOUBLE
+                    ):
+                        return None, (
+                            "DOUBLE sum/avg is order-sensitive "
+                            "(allow_float_reorder is off)"
+                        )
+        return shape, ""
+
+    def _run_parallel(
+        self,
+        prepared,
+        shape: _ParallelShape,
+        params: tuple,
+        config: ParallelConfig,
+    ) -> tuple[list[tuple], int, int, int]:
+        plan = prepared.plan
+        namespace = prepared.compiled.namespace
+        names = prepared.generated.function_names
+        ctx = build_context(
+            plan, opt_level=prepared.compiled.opt_level, params=params
+        )
+
+        scan_fn = namespace[names[shape.scan.op_id]]
+        post_fn = None
+        if shape.aggregate is not None:
+            post_fn = namespace[f"{names[shape.aggregate.op_id]}_partial"]
+        elif shape.project is not None:
+            post_fn = namespace[names[shape.project.op_id]]
+
+        table = shape.scan.table
+        dispatcher = MorselDispatcher(table.num_pages, config.morsel_pages)
+        num_morsels = dispatcher.num_morsels
+        num_workers = min(config.workers, num_morsels)
+
+        def drain() -> dict[int, list]:
+            """One worker: pull morsels until the dispatcher is dry."""
+            partials: dict[int, list] = {}
+            while True:
+                morsel = dispatcher.next()
+                if morsel is None:
+                    return partials
+                rows = scan_fn(ctx, morsel.page_lo, morsel.page_hi)
+                partials[morsel.seq] = (
+                    post_fn(ctx, rows) if post_fn is not None else rows
+                )
+
+        futures = self._submit(drain, num_workers)
+        by_seq: dict[int, list] = {}
+        for future in futures:
+            by_seq.update(future.result())
+        ordered = [by_seq[seq] for seq in sorted(by_seq)]
+
+        if shape.aggregate is not None:
+            input_layout = plan.op(shape.aggregate.input_op).output_layout
+            rows = merge_aggregate_partials(
+                shape.aggregate,
+                input_layout,
+                ordered,
+                params,
+                # O0 map aggregation is generic hashing: it emits groups
+                # in first-seen order and never overflows a directory.
+                directory_order=prepared.compiled.opt_level == OPT_O2,
+            )
+        else:
+            rows = []
+            for chunk in ordered:
+                rows.extend(chunk)
+
+        for op in shape.tail:
+            rows = namespace[names[op.op_id]](ctx, rows)
+        return rows, num_morsels, table.num_pages, num_workers
+
+
+# -- aggregate merging ------------------------------------------------------------------
+#
+# Generated ``*_partial`` functions return ``{group key: [state, ...]}``
+# with one 4-slot state ``[sum, count, minimum, maximum]`` per aggregate
+# node, in :func:`collect_aggregates` order.  The representation is
+# mergeable without knowing the aggregate function: sums and counts add,
+# minima/maxima compare.
+
+_SUM, _COUNT, _MIN, _MAX = range(4)
+
+
+def merge_aggregate_partials(
+    op: Aggregate,
+    input_layout,
+    partials: list[dict],
+    params: tuple = (),
+    directory_order: bool = True,
+) -> list[tuple]:
+    """Fold per-morsel partial states and finalize output rows.
+
+    Partials must arrive in morsel order: group keys are merged
+    first-seen, which reproduces the serial scan's discovery order and
+    therefore the serial output order (for map aggregation, via the
+    reconstructed value directories of Figure 4(b)).
+    """
+    merged: dict[tuple, list[list]] = {}
+    for partial in partials:
+        for key, states in partial.items():
+            acc = merged.get(key)
+            if acc is None:
+                # Adopt the worker-local states outright (each partial
+                # dict is owned by exactly one morsel).
+                merged[key] = states
+            else:
+                for state, other in zip(acc, states):
+                    state[_SUM] += other[_SUM]
+                    state[_COUNT] += other[_COUNT]
+                    if other[_MIN] is not None and (
+                        state[_MIN] is None or other[_MIN] < state[_MIN]
+                    ):
+                        state[_MIN] = other[_MIN]
+                    if other[_MAX] is not None and (
+                        state[_MAX] is None or other[_MAX] > state[_MAX]
+                    ):
+                        state[_MAX] = other[_MAX]
+
+    aggregates = collect_aggregates(op)
+    if not op.group_positions:
+        # A global aggregate yields exactly one row even over no input.
+        if not merged:
+            merged[()] = _empty_states(aggregates)
+        keys = [()]
+    else:
+        keys = list(merged)
+        if directory_order and op.algorithm == AGG_MAP and op.directory_sizes:
+            keys = _map_directory_order(op, keys)
+
+    index_of = {node: k for k, node in enumerate(aggregates)}
+    position_of = {pos: i for i, pos in enumerate(op.group_positions)}
+
+    def evaluate(expr, key: tuple, states: list[list]):
+        if isinstance(expr, BoundAggregate):
+            return _state_result(expr.func, states[index_of[expr]])
+        if isinstance(expr, BoundArithmetic):
+            left = evaluate(expr.left, key, states)
+            right = evaluate(expr.right, key, states)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            return left / right
+        if isinstance(expr, BoundColumn):
+            return key[position_of[input_layout.position(expr)]]
+        if isinstance(expr, BoundParameter):
+            return params[expr.index]
+        return expr.value  # BoundLiteral
+
+    return [
+        tuple(
+            evaluate(output.expr, key, merged[key]) for output in op.outputs
+        )
+        for key in keys
+    ]
+
+
+def _state_result(func: str, state: list):
+    if func == "count":
+        return state[_COUNT]
+    if func == "sum":
+        return state[_SUM]
+    if func == "avg":
+        return state[_SUM] / state[_COUNT] if state[_COUNT] else None
+    if func == "min":
+        return state[_MIN]
+    return state[_MAX]
+
+
+def _empty_states(aggregates: list[BoundAggregate]) -> list[list]:
+    return [
+        [0.0 if node.dtype == DOUBLE else 0, 0, None, None]
+        for node in aggregates
+    ]
+
+
+def _map_directory_order(op: Aggregate, keys: list[tuple]) -> list[tuple]:
+    """Order groups the way serial map aggregation emits them.
+
+    The serial template walks group offsets ``Σ_i M_i[v_i]·Π_{j>i}|M_j|``
+    in ascending order, with each value directory ``M_i`` built in
+    first-seen order.  Walking merged keys in first-seen order rebuilds
+    identical directories (a new attribute value always arrives with a
+    new key), and overflowing a directory raises the same
+    :class:`MapDirectoryOverflow` the generated code would, so the
+    caller's hybrid-aggregation fallback engages exactly as in serial
+    execution.
+    """
+    sizes = [max(size, 1) for size in op.directory_sizes]
+    directories: list[dict] = [{} for _ in op.group_positions]
+    for key in keys:
+        for g, value in enumerate(key):
+            directory = directories[g]
+            if value not in directory:
+                if len(directory) >= sizes[g]:
+                    raise MapDirectoryOverflow()
+                directory[value] = len(directory)
+    multipliers = []
+    for g in range(len(sizes)):
+        product = 1
+        for j in range(g + 1, len(sizes)):
+            product *= sizes[j]
+        multipliers.append(product)
+    return sorted(
+        keys,
+        key=lambda key: sum(
+            directories[g][key[g]] * multipliers[g]
+            for g in range(len(key))
+        ),
+    )

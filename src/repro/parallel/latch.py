@@ -1,0 +1,89 @@
+"""A writer-preferring readers–writer latch.
+
+The storage spine admits any number of concurrent readers (scans,
+point lookups, aggregate staging) while writers — DDL, bulk loads,
+``analyze`` — require exclusive access.  :class:`ReadWriteLatch` is the
+gate that enforces this: the catalogue owns one, the query service
+acquires the read side around engine execution, and every
+catalogue-mutating operation takes the write side.
+
+Writer preference keeps bulk operations from starving under a steady
+stream of readers: once a writer is waiting, new readers queue behind
+it.  The latch is *not* reentrant — neither read-inside-read nor
+write-inside-write — so holders must not call back into gated entry
+points.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLatch:
+    """Many concurrent readers or one exclusive writer."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- read side -------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Shared-read scope: ``with latch.read(): ...``."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- write side ------------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Exclusive scope: ``with latch.write(): ...``."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def active_readers(self) -> int:
+        with self._cond:
+            return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        with self._cond:
+            return self._writer_active

@@ -1,0 +1,65 @@
+"""Parallel-execution configuration and per-query statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.morsel import DEFAULT_MORSEL_PAGES
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs for morsel-driven intra-query parallelism.
+
+    ``workers`` sizes the scan worker pool; ``enabled`` turns the whole
+    subsystem off (every query runs the serial composed entry point);
+    ``min_pages`` keeps tiny tables serial, where thread fan-out costs
+    more than it saves.
+    """
+
+    workers: int = 4
+    morsel_pages: int = DEFAULT_MORSEL_PAGES
+    enabled: bool = True
+    #: Tables below this many pages are scanned serially.
+    min_pages: int = 16
+    #: Merging per-morsel partial sums reassociates floating-point
+    #: addition, which can change DOUBLE sum/avg results in the last
+    #: ulp relative to a serial scan.  Off by default so parallel
+    #: execution is bit-identical to serial; switch on to parallelize
+    #: float aggregation too (every other aggregate is exact and always
+    #: eligible).
+    allow_float_reorder: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.morsel_pages <= 0:
+            raise ValueError("morsel_pages must be positive")
+
+
+@dataclass
+class ExecutionStats:
+    """How one query execution actually ran.
+
+    Surfaced through ``HiqueEngine.last_exec_stats`` and the shell's
+    timing line, so operators can see whether a statement went
+    parallel and how the scan was divided.
+    """
+
+    parallel: bool = False
+    #: Workers that actually ran (≤ configured when morsels are few).
+    workers: int = 1
+    morsels: int = 0
+    pages: int = 0
+    rows: int = 0
+    elapsed_seconds: float = 0.0
+    #: Why execution stayed serial ("" when it went parallel).
+    reason: str = ""
+
+    def describe(self) -> str:
+        if self.parallel:
+            return (
+                f"parallel: {self.workers} workers, {self.morsels} morsels "
+                f"over {self.pages} pages"
+            )
+        return f"serial ({self.reason})" if self.reason else "serial"

@@ -14,11 +14,16 @@ A :class:`QueryService` sits between clients and the engines:
 * it fronts concurrent sessions with a bounded worker pool and
   admission accounting.
 
-Engine execution is serialized by an internal lock: the storage layer
-(buffer pool, page files) is not itself thread-safe, so the pool bounds
-*admission* and keeps sessions isolated, while queries run one at a
-time.  The lock is scoped so cache lookups and statement resolution stay
-concurrent.
+Read queries execute **concurrently**: the storage spine (buffer pool,
+page files, catalogue) is thread-safe for readers, so engine execution
+runs under the *read* side of the catalogue's
+:class:`~repro.parallel.latch.ReadWriteLatch` — any number of sessions
+scan at once, overlapping their I/O waits — while writers (DDL, bulk
+loads, ``analyze``) take the exclusive side.  Only plan *preparation*
+(optimize + generate + compile on a cache miss) is serialized, by a
+per-statement build lock, so a thundering herd on one cold statement
+compiles it once instead of N times while distinct cold statements
+still prepare concurrently.
 """
 
 from __future__ import annotations
@@ -145,7 +150,14 @@ class QueryService:
         )
         self._text_capacity = max(cache_capacity * 8, 128)
 
-        self._exec_lock = threading.RLock()
+        #: Per-statement build locks: a thundering herd on one cold
+        #: statement compiles it once, while *distinct* cold statements
+        #: build concurrently.  Entries are dropped after the build, so
+        #: the map stays as small as the set of in-flight preparations.
+        self._build_locks: dict[tuple, threading.Lock] = {}
+        #: Readers-writer gate shared with the catalogue: queries take
+        #: the read side, DDL/loads/analyze the write side.
+        self._gate = database.catalog.gate
         self._state_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
@@ -209,6 +221,23 @@ class QueryService:
     ) -> _CachedPlan:
         """The cached plan for a statement, building it on a miss.
 
+        Acquires the read gate around lookup and build; callers that
+        also *execute* the plan use :meth:`_plan_under_gate` inside
+        their own read scope instead (the gate is not reentrant).
+        """
+        with self._gate.read():
+            return self._plan_under_gate(statement, count)
+
+    def _plan_under_gate(
+        self, statement: PreparedStatement, count: bool = True
+    ) -> _CachedPlan:
+        """Lookup/build while the caller holds the read gate.
+
+        Because catalogue writers invalidate the cache *before*
+        releasing the write gate, an entry found here cannot be stale —
+        holding the gate across lookup and execution is what makes a
+        cached plan safe against concurrent DDL.
+
         The key carries the parameter type signature besides the
         normalized SQL: ``WHERE c = 'x1'`` and ``WHERE c = 3`` render
         identically but must bind (and possibly fail) separately.
@@ -230,28 +259,49 @@ class QueryService:
         )
         if entry is not None:
             return entry.value
-        plan, cost = self._build_plan(statement)
-        self.cache.put(cache_key, plan, cost_seconds=cost)
+        with self._state_lock:
+            lock = self._build_locks.setdefault(cache_key, threading.Lock())
+        try:
+            with lock:
+                # A racer may have built the plan while we waited; this
+                # thread saved nothing, so peek rather than count a hit.
+                entry = self.cache.peek(cache_key)
+                if entry is not None:
+                    return entry.value
+                plan, cost = self._build_plan(statement)
+                if plan.prepared is not None:
+                    size = (
+                        plan.prepared.compiled.source_bytes
+                        + plan.prepared.compiled.compiled_bytes
+                    )
+                else:
+                    size = len(statement.key.encode("utf-8"))
+                self.cache.put(
+                    cache_key, plan, cost_seconds=cost, size_bytes=size
+                )
+        finally:
+            with self._state_lock:
+                self._build_locks.pop(cache_key, None)
         return plan
 
     def _build_plan(
         self, statement: PreparedStatement
     ) -> tuple[_CachedPlan, float]:
+        # Caller holds the read gate and the statement's build lock.
         kind = statement.engine_kind
         parameterized = statement.parameterized
         if kind in _CODEGEN_KINDS:
             engine: HiqueEngine = self.database.engine(kind)
-            with self._exec_lock:
-                prepared = engine.prepare(
-                    statement.key,
-                    query=parameterized.query,
-                    param_dtypes={
-                        i: dtype
-                        for i, dtype in enumerate(parameterized.dtypes)
-                        if dtype is not None
-                    },
-                    use_cache=False,
-                )
+            prepared = engine.prepare(
+                statement.key,
+                query=parameterized.query,
+                param_dtypes={
+                    i: dtype
+                    for i, dtype in enumerate(parameterized.dtypes)
+                    if dtype is not None
+                },
+                use_cache=False,
+            )
             return (
                 _CachedPlan(
                     engine_kind=kind,
@@ -297,23 +347,34 @@ class QueryService:
         if self._closed:
             raise ServiceError("query service is closed")
         values = statement.resolve_params(params, allow_override)
-        plan = self._ensure_plan(statement)
         with self._state_lock:
             self._queries += 1
-        if plan.prepared is not None:
-            _check_param_values(plan.param_dtypes, values)
+        if statement.engine_kind in _CODEGEN_KINDS:
+            # One read scope spans plan lookup AND execution, so a
+            # concurrent DDL cannot invalidate the plan in between (its
+            # compiled module embeds table objects).
             engine: HiqueEngine = self.database.engine(statement.engine_kind)
-            with self._exec_lock:
+            with self._gate.read():
+                plan = self._plan_under_gate(statement)
+                _check_param_values(plan.param_dtypes, values)
                 return engine.execute_prepared(plan.prepared, params=values)
+        # Interpreting engines re-bind per execution, so a stale cached
+        # AST is harmless — binding re-resolves (or rejects) the tables.
+        plan = self._ensure_plan(statement)
         return self._execute_interpreted(statement.engine_kind, plan, values)
 
     def _execute_interpreted(
         self, kind: str, plan: _CachedPlan, values: tuple
     ) -> list[tuple]:
-        """Substitute parameters and run an interpreting engine."""
+        """Substitute parameters and run an interpreting engine.
+
+        Binding, planning and iterator/vector execution are all
+        per-call state over read-only inputs, so concurrent sessions
+        run them simultaneously under the read gate.
+        """
         engine = self.database.engine(kind)
         substituted = substitute_parameters(plan.query, values)
-        with self._exec_lock:
+        with self._gate.read():
             bound = engine.binder.bind(substituted)
             physical = Optimizer(
                 self.database.catalog, engine.planner_config
@@ -339,7 +400,7 @@ class QueryService:
             return plan.prepared.plan.output_names
         parameterized = statement.parameterized
         engine = self.database.engine(statement.engine_kind)
-        with self._exec_lock:
+        with self._gate.read():
             bound = engine.binder.bind(
                 parameterized.query,
                 param_dtypes={

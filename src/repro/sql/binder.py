@@ -51,9 +51,10 @@ _HINT_DTYPES: dict[str, DataType] = {
 class Binder:
     """Binds parsed queries against a catalogue.
 
-    A binder instance holds no per-query state between :meth:`bind`
-    calls, but one call is not re-entrant — callers sharing a binder
-    across threads must serialize binds (the query service does).
+    A binder instance holds no mutable state at all — every
+    :meth:`bind` call threads its working set through locals and the
+    returned :class:`BoundQuery` — so one binder may serve any number
+    of concurrent sessions (the query service relies on this).
     """
 
     def __init__(self, catalog: Catalog):

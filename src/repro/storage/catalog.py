@@ -8,10 +8,12 @@ per-table statistics kept here.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import CatalogError
+from repro.parallel.latch import ReadWriteLatch
 from repro.storage.buffer import BufferManager
 from repro.storage.schema import Column, Schema
 from repro.storage.table import Table
@@ -43,11 +45,21 @@ class TableStats:
 
 
 class Catalog:
-    """Name → table mapping shared by the parser, optimizer and engines."""
+    """Name → table mapping shared by the parser, optimizer and engines.
+
+    Lookups are safe from concurrent reader threads (a registry lock
+    guards the dictionaries).  Mutations — DDL, bulk loads through
+    :meth:`exclusive`, ``analyze`` — additionally take the write side of
+    :attr:`gate`, the readers–writer latch the query service uses to
+    admit concurrent read queries while keeping writers exclusive.
+    """
 
     def __init__(self, buffer: BufferManager | None = None):
         #: Shared buffer pool handed to tables created through the catalog.
         self.buffer = buffer if buffer is not None else BufferManager()
+        #: Readers (query executions) vs writers (DDL/loads/analyze).
+        self.gate = ReadWriteLatch()
+        self._lock = threading.RLock()
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
         self._listeners: list[Callable[[str | None], None]] = []
@@ -61,60 +73,84 @@ class Catalog:
         this to invalidate cached plans, which embed table references
         and statistics-driven algorithm choices.
         """
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def remove_listener(
         self, listener: Callable[[str | None], None]
     ) -> None:
-        if listener in self._listeners:
-            self._listeners.remove(listener)
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
 
     def _notify(self, name: str | None) -> None:
-        for listener in list(self._listeners):
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
             listener(name)
+
+    # -- write gating ------------------------------------------------------------
+    def exclusive(self):
+        """Exclusive-writer scope for out-of-band mutations (bulk loads).
+
+        DDL and ``analyze`` gate themselves; callers mutating table
+        contents directly (``Database.load_rows``, benchmark loaders)
+        wrap the mutation in ``with catalog.exclusive(): ...`` so no
+        read query observes a half-loaded table.
+        """
+        return self.gate.write()
 
     # -- registration -----------------------------------------------------------
     def create_table(self, name: str, schema: Schema) -> Table:
         key = name.lower()
-        if key in self._tables:
-            raise CatalogError(f"table {name!r} already exists")
-        table = Table(name, schema, buffer=self.buffer)
-        self._tables[key] = table
-        self._stats[key] = TableStats()
-        self._notify(key)
+        with self.gate.write():
+            with self._lock:
+                if key in self._tables:
+                    raise CatalogError(f"table {name!r} already exists")
+                table = Table(name, schema, buffer=self.buffer)
+                self._tables[key] = table
+                self._stats[key] = TableStats()
+            self._notify(key)
         return table
 
     def register(self, table: Table) -> Table:
         """Adopt an externally built table."""
         key = table.name.lower()
-        if key in self._tables:
-            raise CatalogError(f"table {table.name!r} already exists")
-        self._tables[key] = table
-        self._stats[key] = TableStats()
-        self._notify(key)
+        with self.gate.write():
+            with self._lock:
+                if key in self._tables:
+                    raise CatalogError(f"table {table.name!r} already exists")
+                self._tables[key] = table
+                self._stats[key] = TableStats()
+            self._notify(key)
         return table
 
     def drop_table(self, name: str) -> None:
         key = name.lower()
-        if key not in self._tables:
-            raise CatalogError(f"unknown table {name!r}")
-        self._tables[key].file.close()
-        del self._tables[key]
-        del self._stats[key]
-        self._notify(key)
+        with self.gate.write():
+            with self._lock:
+                if key not in self._tables:
+                    raise CatalogError(f"unknown table {name!r}")
+                self._tables[key].file.close()
+                del self._tables[key]
+                del self._stats[key]
+            self._notify(key)
 
     # -- lookup -----------------------------------------------------------------
     def table(self, name: str) -> Table:
-        try:
-            return self._tables[name.lower()]
-        except KeyError:
-            raise CatalogError(f"unknown table {name!r}") from None
+        with self._lock:
+            try:
+                return self._tables[name.lower()]
+            except KeyError:
+                raise CatalogError(f"unknown table {name!r}") from None
 
     def has_table(self, name: str) -> bool:
-        return name.lower() in self._tables
+        with self._lock:
+            return name.lower() in self._tables
 
     def tables(self) -> Iterator[Table]:
-        return iter(self._tables.values())
+        with self._lock:
+            return iter(list(self._tables.values()))
 
     def __contains__(self, name: str) -> bool:
         return self.has_table(name)
@@ -132,7 +168,7 @@ class Catalog:
             return table, table.schema[idx]
         matches = [
             (t, t.schema[t.schema.index_of(name)])
-            for t in self._tables.values()
+            for t in self.tables()
             if t.schema.has_column(name)
         ]
         if not matches:
@@ -145,9 +181,10 @@ class Catalog:
     # -- statistics ----------------------------------------------------------------
     def stats(self, name: str) -> TableStats:
         key = name.lower()
-        if key not in self._stats:
-            raise CatalogError(f"unknown table {name!r}")
-        return self._stats[key]
+        with self._lock:
+            if key not in self._stats:
+                raise CatalogError(f"unknown table {name!r}")
+            return self._stats[key]
 
     def analyze(self, name: str | None = None) -> None:
         """Recompute statistics for one table (or all tables).
@@ -156,33 +193,36 @@ class Catalog:
         min/max — the paper gathers statistics "at the highest level of
         detail" before running its benchmarks.
         """
-        names: Iterable[str]
-        if name is None:
-            names = list(self._tables)
-        else:
-            if name.lower() not in self._tables:
-                raise CatalogError(f"unknown table {name!r}")
-            names = [name.lower()]
-        for key in names:
-            table = self._tables[key]
-            stats = TableStats(
-                row_count=table.num_rows, page_count=table.num_pages
-            )
-            collectors: list[set] = [set() for _ in table.schema]
-            minima: list[Any] = [None] * len(table.schema)
-            maxima: list[Any] = [None] * len(table.schema)
-            for row in table.scan_rows():
-                for i, value in enumerate(row):
-                    collectors[i].add(value)
-                    if minima[i] is None or value < minima[i]:
-                        minima[i] = value
-                    if maxima[i] is None or value > maxima[i]:
-                        maxima[i] = value
-            for i, column in enumerate(table.schema):
-                stats.columns[column.name] = ColumnStats(
-                    distinct=len(collectors[i]),
-                    min_value=minima[i],
-                    max_value=maxima[i],
+        with self.gate.write():
+            names: Iterable[str]
+            with self._lock:
+                if name is None:
+                    names = list(self._tables)
+                else:
+                    if name.lower() not in self._tables:
+                        raise CatalogError(f"unknown table {name!r}")
+                    names = [name.lower()]
+            for key in names:
+                table = self.table(key)
+                stats = TableStats(
+                    row_count=table.num_rows, page_count=table.num_pages
                 )
-            self._stats[key] = stats
-        self._notify(name.lower() if name is not None else None)
+                collectors: list[set] = [set() for _ in table.schema]
+                minima: list[Any] = [None] * len(table.schema)
+                maxima: list[Any] = [None] * len(table.schema)
+                for row in table.scan_rows():
+                    for i, value in enumerate(row):
+                        collectors[i].add(value)
+                        if minima[i] is None or value < minima[i]:
+                            minima[i] = value
+                        if maxima[i] is None or value > maxima[i]:
+                            maxima[i] = value
+                for i, column in enumerate(table.schema):
+                    stats.columns[column.name] = ColumnStats(
+                        distinct=len(collectors[i]),
+                        min_value=minima[i],
+                        max_value=maxima[i],
+                    )
+                with self._lock:
+                    self._stats[key] = stats
+            self._notify(name.lower() if name is not None else None)

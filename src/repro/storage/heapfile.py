@@ -6,14 +6,21 @@ mediates access.  Two implementations share one interface:
 * :class:`MemoryFile` — pages live in a Python list.  This is the default
   for benchmarks (the paper's data sets are memory resident too).
 * :class:`DiskFile` — pages live in a real file, read/written with
-  ``seek``; used to exercise the buffer manager's eviction/write-back
-  path under genuine I/O.
+  positioned I/O (``os.pread``/``os.pwrite``), so concurrent readers
+  never contend on shared seek state; used to exercise the buffer
+  manager's eviction/write-back path under genuine I/O.
+
+Reads are safe from any number of threads.  Mutations (``write_page``,
+``append_page``) take a per-file lock; higher layers additionally
+serialize writers behind the catalogue's exclusive gate.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import threading
+import time
 from typing import Iterator
 
 from repro.errors import StorageError
@@ -28,6 +35,8 @@ class HeapFile:
     def __init__(self) -> None:
         #: Unique id used by the buffer manager as part of the frame key.
         self.file_id = next(_file_ids)
+        #: Serializes structural mutation (appends, writes).
+        self._mutate = threading.Lock()
 
     @property
     def num_pages(self) -> int:
@@ -78,12 +87,14 @@ class MemoryFile(HeapFile):
     def write_page(self, page_no: int, data: bytes) -> None:
         self._check_page_no(page_no)
         self._check_size(data)
-        self._pages[page_no] = bytearray(data)
+        with self._mutate:
+            self._pages[page_no] = bytearray(data)
 
     def append_page(self, data: bytes) -> int:
         self._check_size(data)
-        self._pages.append(bytearray(data))
-        return len(self._pages) - 1
+        with self._mutate:
+            self._pages.append(bytearray(data))
+            return len(self._pages) - 1
 
     def raw_page(self, page_no: int) -> bytearray:
         """Zero-copy view of a page (memory files only).
@@ -96,17 +107,32 @@ class MemoryFile(HeapFile):
 
 
 class DiskFile(HeapFile):
-    """A heap file backed by an operating-system file."""
+    """A heap file backed by an operating-system file.
 
-    def __init__(self, path: str, create: bool = True):
+    Page reads use ``os.pread`` — a positioned read with no shared file
+    offset — so any number of threads can fetch different pages of the
+    same file concurrently, and the I/O waits overlap.
+
+    ``read_latency`` adds a modeled per-page fetch wait (seconds) on
+    top of the real read — the disk-level analogue of the
+    :mod:`repro.memsim` cache model, used by benchmarks to reproduce
+    latency-bound storage (spinning or networked disks) deterministically
+    on any machine.  Zero (the default) means real I/O only.
+    """
+
+    def __init__(
+        self, path: str, create: bool = True, read_latency: float = 0.0
+    ):
         super().__init__()
         self.path = path
+        self.read_latency = read_latency
         mode = "r+b"
         if create and not os.path.exists(path):
             with open(path, "wb"):
                 pass
         self._fh = open(path, mode)
-        size = os.fstat(self._fh.fileno()).st_size
+        self._fd = self._fh.fileno()
+        size = os.fstat(self._fd).st_size
         if size % PAGE_SIZE:
             raise StorageError(
                 f"file {path!r} size {size} is not a multiple of the "
@@ -120,8 +146,9 @@ class DiskFile(HeapFile):
 
     def read_page(self, page_no: int) -> bytearray:
         self._check_page_no(page_no)
-        self._fh.seek(page_no * PAGE_SIZE)
-        data = self._fh.read(PAGE_SIZE)
+        if self.read_latency:
+            time.sleep(self.read_latency)
+        data = os.pread(self._fd, PAGE_SIZE, page_no * PAGE_SIZE)
         if len(data) != PAGE_SIZE:
             raise StorageError(f"short read on page {page_no}")
         return bytearray(data)
@@ -129,15 +156,36 @@ class DiskFile(HeapFile):
     def write_page(self, page_no: int, data: bytes) -> None:
         self._check_page_no(page_no)
         self._check_size(data)
-        self._fh.seek(page_no * PAGE_SIZE)
-        self._fh.write(data)
+        with self._mutate:
+            os.pwrite(self._fd, data, page_no * PAGE_SIZE)
 
     def append_page(self, data: bytes) -> int:
         self._check_size(data)
-        self._fh.seek(self._num_pages * PAGE_SIZE)
-        self._fh.write(data)
-        self._num_pages += 1
-        return self._num_pages - 1
+        with self._mutate:
+            os.pwrite(self._fd, data, self._num_pages * PAGE_SIZE)
+            self._num_pages += 1
+            return self._num_pages - 1
+
+    def advise_random(self) -> None:
+        """Disable kernel readahead for this file.
+
+        Models latency-bound storage (random-access media, networked
+        or cache-cold multi-tenant disks) where each page fetch is a
+        real wait — the regime in which concurrent readers overlap
+        their I/O.  A no-op where ``posix_fadvise`` is unavailable.
+        """
+        if hasattr(os, "posix_fadvise"):
+            os.posix_fadvise(self._fd, 0, 0, os.POSIX_FADV_RANDOM)
+
+    def drop_os_cache(self) -> None:
+        """Advise the kernel to drop this file's cached pages.
+
+        Benchmarks use this to measure genuinely cold scans; a no-op on
+        platforms without ``posix_fadvise``.
+        """
+        os.fsync(self._fd)
+        if hasattr(os, "posix_fadvise"):
+            os.posix_fadvise(self._fd, 0, 0, os.POSIX_FADV_DONTNEED)
 
     def flush(self) -> None:
         self._fh.flush()

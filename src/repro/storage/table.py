@@ -13,6 +13,7 @@ access paths the engines use:
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import StorageError
@@ -38,6 +39,9 @@ class Table:
         self.buffer = buffer if buffer is not None else BufferManager()
         self._row_count = 0
         self._tail_page_no: int | None = None
+        #: Serializes appends/truncation; reads are lock-free (they go
+        #: through the latched buffer manager and snapshot page counts).
+        self._write_lock = threading.Lock()
         # Rows may pre-exist in the file (e.g. reopened DiskFile).
         if self.file.num_pages:
             self._row_count = sum(
@@ -49,13 +53,14 @@ class Table:
     def append(self, row: Sequence[Any]) -> None:
         """Append one Python row."""
         encoded = self.schema.encode(row)
-        page = self._tail_page()
-        if page.is_full:
-            page = self._grow()
-        page.insert(encoded)
-        assert self._tail_page_no is not None
-        self.buffer.unpin(self.file, self._tail_page_no, dirty=True)
-        self._row_count += 1
+        with self._write_lock:
+            page = self._tail_page()
+            if page.is_full:
+                page = self._grow()
+            page.insert(encoded)
+            assert self._tail_page_no is not None
+            self.buffer.unpin(self.file, self._tail_page_no, dirty=True)
+            self._row_count += 1
 
     def load_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk-append rows; returns the number inserted.
@@ -67,17 +72,20 @@ class Table:
         encode = self.schema.encode
         page: Page | None = None
         page_no: int | None = None
-        for row in rows:
-            if page is None or page.is_full:
-                if page is not None:
-                    self.buffer.unpin(self.file, page_no, dirty=True)
-                page_no, page = self.buffer.new_page(self.file, self.schema)
-                self._tail_page_no = page_no
-            page.insert(encode(row))
-            count += 1
-        if page is not None:
-            self.buffer.unpin(self.file, page_no, dirty=True)
-        self._row_count += count
+        with self._write_lock:
+            for row in rows:
+                if page is None or page.is_full:
+                    if page is not None:
+                        self.buffer.unpin(self.file, page_no, dirty=True)
+                    page_no, page = self.buffer.new_page(
+                        self.file, self.schema
+                    )
+                    self._tail_page_no = page_no
+                page.insert(encode(row))
+                count += 1
+            if page is not None:
+                self.buffer.unpin(self.file, page_no, dirty=True)
+            self._row_count += count
         return count
 
     def _tail_page(self) -> Page:
@@ -120,9 +128,17 @@ class Table:
         """Buffer-mediated unpinned page read (generated-code path)."""
         return self.buffer.scan_page(self.file, page_no, self.schema)
 
-    def pages(self) -> Iterator[Page]:
-        """Iterate over all pages through the buffer manager."""
-        for page_no in range(self.file.num_pages):
+    def pages(
+        self, page_lo: int = 0, page_hi: int | None = None
+    ) -> Iterator[Page]:
+        """Iterate pages through the buffer manager.
+
+        ``page_lo``/``page_hi`` bound the range (half-open), which is
+        how morsel-driven workers scan their slice of the table.
+        """
+        if page_hi is None:
+            page_hi = self.file.num_pages
+        for page_no in range(page_lo, page_hi):
             yield self.buffer.scan_page(self.file, page_no, self.schema)
 
     def scan_rows(self) -> Iterator[tuple]:
@@ -135,17 +151,22 @@ class Table:
         return list(self.scan_rows())
 
     def row_at(self, page_no: int, slot: int) -> tuple:
-        """Fetch one row by rid; used by index lookups."""
-        page = self.read_page(page_no)
-        return page.read(slot)
+        """Fetch one row by rid; used by index lookups.
+
+        Unlike the scan paths, the page reference is held across the
+        decode, so it stays pinned for the duration of the read.
+        """
+        with self.buffer.shared(self.file, page_no, self.schema) as page:
+            return page.read(slot)
 
     def truncate(self) -> None:
         """Remove all rows (pages are cleared, not deallocated)."""
-        for page_no in range(self.file.num_pages):
-            page = self.buffer.get_page(self.file, page_no, self.schema)
-            page.clear()
-            self.buffer.unpin(self.file, page_no, dirty=True)
-        self._row_count = 0
+        with self._write_lock:
+            for page_no in range(self.file.num_pages):
+                page = self.buffer.get_page(self.file, page_no, self.schema)
+                page.clear()
+                self.buffer.unpin(self.file, page_no, dirty=True)
+            self._row_count = 0
 
 
 def _unqualified(schema: Schema) -> bool:

@@ -1,0 +1,251 @@
+"""Concurrency stress tests: N threads × M mixed queries, all engines.
+
+The contract under test: with the storage spine latched and the query
+service admitting concurrent readers, any interleaving of sessions
+produces rows identical to serial execution, and the buffer pool's
+invariants hold afterwards (every pin released, no pinned page was ever
+evicted — eviction of a pinned frame raises ``BufferPoolError`` inside
+the pool, so a clean run is itself the invariant check).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import Database
+from repro.api import ENGINE_KINDS
+from repro.parallel import ParallelConfig
+from repro.storage import Catalog, Column, DOUBLE, INT, Schema, char
+from repro.storage.buffer import BufferManager
+from repro.storage.heapfile import DiskFile
+from repro.storage.table import Table
+
+N_THREADS = 6
+ROUNDS = 4
+
+#: Mixed point/aggregate workload; every statement is served by all six
+#: engine configurations.  Float aggregates use int arguments so results
+#: are exact and comparable with ``==`` across any execution order.
+WORKLOAD = [
+    ("SELECT id, balance FROM accounts WHERE id = ?", lambda rng: (rng.randrange(512),)),
+    ("SELECT id, region FROM accounts WHERE id = ?", lambda rng: (rng.randrange(512),)),
+    ("SELECT count(*) AS n FROM accounts WHERE region = ?", lambda rng: (rng.randrange(8),)),
+    (
+        "SELECT region, count(*) AS n, sum(flag) AS s, min(id) AS mn, "
+        "max(id) AS mx FROM accounts GROUP BY region",
+        lambda rng: None,
+    ),
+    (
+        "SELECT region, count(*) AS n FROM accounts WHERE flag = ? "
+        "GROUP BY region ORDER BY n DESC, region",
+        lambda rng: (rng.randrange(2),),
+    ),
+    ("SELECT sum(id) AS s, count(*) AS n FROM accounts", lambda rng: None),
+]
+
+
+def _build_db(**kwargs) -> Database:
+    rng = random.Random(99)
+    db = Database(**kwargs)
+    db.create_table(
+        "accounts",
+        [
+            Column("id", INT),
+            Column("balance", DOUBLE),
+            Column("region", INT),
+            Column("flag", INT),
+            Column("tag", char(8)),
+        ],
+    )
+    db.load_rows(
+        "accounts",
+        [
+            (
+                i,
+                float(rng.randrange(100_000)) / 100,
+                i % 8,
+                i % 2,
+                f"t{i % 11}",
+            )
+            for i in range(512)
+        ],
+    )
+    db.analyze()
+    return db
+
+
+@pytest.fixture(scope="module")
+def stress_db() -> Database:
+    db = _build_db(max_workers=N_THREADS, workers=4)
+    db.set_parallel(min_pages=2, morsel_pages=2)
+    yield db
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def expected(stress_db):
+    """Serial reference results per (engine, statement) pair."""
+    serial = _build_db(parallel=False, max_workers=1)
+    results = {}
+    for kind in ENGINE_KINDS:
+        for index, (sql, make_params) in enumerate(WORKLOAD):
+            rng = random.Random(index)
+            params = make_params(rng)
+            results[(kind, index)] = serial.execute(
+                sql, engine=kind, params=params
+            )
+    serial.close()
+    return results
+
+
+def _run_threads(target, count=N_THREADS, timeout=120):
+    errors: list[BaseException] = []
+
+    def guarded(k):
+        try:
+            target(k)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=guarded, args=(k,)) for k in range(count)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        assert not t.is_alive(), "stress thread wedged"
+    if errors:
+        raise errors[0]
+
+
+def test_mixed_queries_identical_to_serial_all_engines(stress_db, expected):
+    """Six engines × N threads × M statements: rows match serial runs."""
+
+    def session(thread_id: int):
+        rng = random.Random(thread_id)
+        for _ in range(ROUNDS):
+            for kind in ENGINE_KINDS:
+                index = rng.randrange(len(WORKLOAD))
+                sql, make_params = WORKLOAD[index]
+                params = make_params(random.Random(index))
+                rows = stress_db.execute(sql, engine=kind, params=params)
+                assert rows == expected[(kind, index)], (kind, sql)
+
+    _run_threads(session)
+    assert stress_db.buffer.num_pinned == 0
+
+
+def test_service_submit_concurrent_sessions(stress_db, expected):
+    """The pooled front-end agrees with serial results under load."""
+    futures = []
+    for k in range(N_THREADS * 4):
+        index = k % len(WORKLOAD)
+        sql, make_params = WORKLOAD[index]
+        params = make_params(random.Random(index))
+        futures.append(
+            (index, stress_db.service.submit(sql, params=params))
+        )
+    for index, future in futures:
+        assert future.result(timeout=60) == expected[("hique", index)]
+    stats = stress_db.service.stats()
+    assert stats.pending == 0
+    assert stats.failed == 0
+    assert stress_db.buffer.num_pinned == 0
+
+
+def test_tiny_buffer_pool_under_concurrency(expected):
+    """Evictions under concurrent scans: correctness and invariants.
+
+    A pool far smaller than the table forces constant miss/evict
+    traffic from every thread; a pinned-page eviction would raise
+    ``BufferPoolError`` and fail the run.
+    """
+    db = _build_db(buffer_capacity=2, workers=4)
+    db.set_parallel(min_pages=2, morsel_pages=2)
+    try:
+
+        def session(thread_id: int):
+            rng = random.Random(thread_id)
+            for _ in range(ROUNDS):
+                index = rng.randrange(len(WORKLOAD))
+                sql, make_params = WORKLOAD[index]
+                params = make_params(random.Random(index))
+                rows = db.execute(sql, params=params)
+                assert rows == expected[("hique", index)]
+
+        _run_threads(session)
+        assert db.buffer.num_pinned == 0
+        assert db.buffer.num_resident <= 2
+        assert db.buffer.stats.evictions > 0
+    finally:
+        db.close()
+
+
+def test_concurrent_scans_over_disk_file(tmp_path):
+    """Positioned reads: many threads scanning one DiskFile agree."""
+    schema = Schema([Column("a", INT), Column("b", INT)])
+    buffer = BufferManager(capacity=16)
+    file = DiskFile(str(tmp_path / "t.pages"))
+    catalog = Catalog(buffer)
+    table = Table("t", schema, file=file, buffer=buffer)
+    table.load_rows([(i, i * 3) for i in range(50_000)])
+    catalog.register(table)
+    catalog.analyze()
+    db = Database(catalog=catalog, workers=4)
+    db.set_parallel(min_pages=2)
+    try:
+        want = sum(i * 3 for i in range(50_000))
+
+        def session(thread_id: int):
+            for _ in range(ROUNDS):
+                rows = db.execute("SELECT sum(b) AS s FROM t")
+                assert rows == [(want,)]
+
+        _run_threads(session)
+        assert buffer.num_pinned == 0
+    finally:
+        db.close()
+
+
+def test_ddl_excludes_readers_without_breaking_them(stress_db, expected):
+    """analyze() (a writer) interleaves safely with running readers."""
+    stop = threading.Event()
+
+    def churn_statistics():
+        while not stop.is_set():
+            stress_db.analyze("accounts")
+
+    churner = threading.Thread(target=churn_statistics)
+    churner.start()
+    try:
+
+        def session(thread_id: int):
+            rng = random.Random(thread_id)
+            for _ in range(ROUNDS):
+                index = rng.randrange(len(WORKLOAD))
+                sql, make_params = WORKLOAD[index]
+                params = make_params(random.Random(index))
+                rows = stress_db.execute(sql, params=params)
+                assert rows == expected[("hique", index)]
+
+        _run_threads(session)
+    finally:
+        stop.set()
+        churner.join(timeout=30)
+    assert stress_db.buffer.num_pinned == 0
+
+
+def test_parallel_config_is_visible_in_stats(stress_db):
+    stress_db.execute(
+        "SELECT region, count(*) AS n FROM accounts GROUP BY region"
+    )
+    stats = stress_db.last_exec_stats("hique")
+    assert stats is not None
+    if stats.parallel:
+        # ``workers`` reports threads actually used, capped by morsels.
+        assert 1 <= stats.workers <= stress_db.parallel_config.workers
+        assert stats.morsels >= 2

@@ -1,0 +1,343 @@
+"""Unit tests for the parallel execution subsystem.
+
+Covers the latch, the morsel dispatcher, parallel-vs-serial result
+identity across plan shapes and optimization levels, serial-fallback
+reasons, the aggregate-partial merge, the parallelism knobs, and the
+cost-aware plan-cache admission policy.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import Database
+from repro.core.engine import HiqueEngine
+from repro.parallel import (
+    Morsel,
+    MorselDispatcher,
+    ParallelConfig,
+    ReadWriteLatch,
+    morsels_for,
+)
+from repro.parallel.executor import analyze_plan
+from repro.plan.optimizer import PlannerConfig
+from repro.service.cache import PlanCache
+from repro.storage import Catalog, Column, DOUBLE, INT, Schema, char
+from repro.storage.table import table_from_rows
+
+PARALLEL = ParallelConfig(workers=4, morsel_pages=4, min_pages=2)
+
+
+@pytest.fixture()
+def wide_catalog() -> Catalog:
+    """A table big enough to split into many morsels."""
+    rng = random.Random(11)
+    catalog = Catalog()
+    schema = Schema(
+        [
+            Column("a", INT),
+            Column("b", DOUBLE),
+            Column("c", INT),
+            Column("d", char(8)),
+        ]
+    )
+    rows = [
+        (i, float(rng.randrange(10_000)) / 4, i % 9, f"g{i % 5}")
+        for i in range(12_000)
+    ]
+    catalog.register(
+        table_from_rows("t", schema, rows, buffer=catalog.buffer)
+    )
+    catalog.analyze()
+    return catalog
+
+
+# -- latch ------------------------------------------------------------------------------
+
+
+def test_latch_admits_concurrent_readers():
+    latch = ReadWriteLatch()
+    inside = threading.Barrier(3, timeout=5)
+
+    def reader():
+        with latch.read():
+            inside.wait()  # all three readers are in simultaneously
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5)
+    assert latch.active_readers == 0
+
+
+def test_latch_writer_excludes_readers():
+    latch = ReadWriteLatch()
+    order: list[str] = []
+    writer_in = threading.Event()
+
+    def writer():
+        with latch.write():
+            writer_in.set()
+            order.append("write")
+
+    with latch.read():
+        t = threading.Thread(target=writer)
+        t.start()
+        # The writer cannot enter while we hold the read side.
+        assert not writer_in.wait(timeout=0.1)
+        order.append("read-done")
+    t.join(timeout=5)
+    assert order == ["read-done", "write"]
+    assert not latch.writer_active
+
+
+# -- morsels ----------------------------------------------------------------------------
+
+
+def test_dispatcher_covers_every_page_once():
+    dispatcher = MorselDispatcher(num_pages=53, morsel_pages=8)
+    morsels = list(dispatcher)
+    assert dispatcher.num_morsels == len(morsels) == 7
+    covered = [p for m in morsels for p in range(m.page_lo, m.page_hi)]
+    assert covered == list(range(53))
+    assert [m.seq for m in morsels] == list(range(7))
+    assert dispatcher.next() is None
+
+
+def test_dispatcher_is_race_free():
+    dispatcher = MorselDispatcher(num_pages=1000, morsel_pages=1)
+    taken: list[list[Morsel]] = [[] for _ in range(4)]
+
+    def worker(k: int):
+        while True:
+            morsel = dispatcher.next()
+            if morsel is None:
+                return
+            taken[k].append(morsel)
+
+    threads = [
+        threading.Thread(target=worker, args=(k,)) for k in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    all_pages = sorted(m.page_lo for chunk in taken for m in chunk)
+    assert all_pages == list(range(1000))  # each page exactly once
+
+
+def test_morsels_for_rejects_bad_size():
+    with pytest.raises(ValueError):
+        morsels_for(10, 0)
+
+
+# -- parallel vs serial identity --------------------------------------------------------
+
+QUERIES = [
+    "SELECT a, b FROM t WHERE a < 400",
+    "SELECT a, b, c, d FROM t",
+    "SELECT count(*) AS n FROM t WHERE c = 3",
+    "SELECT sum(a) AS s, count(*) AS n, min(a) AS mn, max(a) AS mx FROM t",
+    "SELECT c, count(*) AS n, sum(a) AS s, min(d) AS mn FROM t GROUP BY c",
+    "SELECT c, d, count(*) AS n FROM t GROUP BY c, d",
+    "SELECT c, sum(a) AS s FROM t WHERE a > 6000 GROUP BY c ORDER BY s DESC",
+    "SELECT a, b FROM t WHERE c = 1 ORDER BY a DESC LIMIT 25",
+    "SELECT a + c AS x, b FROM t WHERE a < 100 ORDER BY x",
+]
+
+
+@pytest.mark.parametrize("opt_level", ["O2", "O0"])
+def test_parallel_rows_identical_to_serial(wide_catalog, opt_level):
+    serial = HiqueEngine(wide_catalog, opt_level=opt_level)
+    parallel = HiqueEngine(
+        wide_catalog, opt_level=opt_level, parallel=PARALLEL
+    )
+    try:
+        for sql in QUERIES:
+            assert parallel.execute(sql) == serial.execute(sql), sql
+        assert parallel.parallel.parallel_runs > 0
+    finally:
+        serial.close()
+        parallel.close()
+
+
+def test_float_sums_parallel_only_when_allowed(wide_catalog):
+    sql = "SELECT c, sum(b) AS s, avg(b) AS av FROM t GROUP BY c"
+    strict = HiqueEngine(wide_catalog, parallel=PARALLEL)
+    relaxed = HiqueEngine(
+        wide_catalog,
+        parallel=ParallelConfig(
+            workers=4, morsel_pages=4, min_pages=2, allow_float_reorder=True
+        ),
+    )
+    serial = HiqueEngine(wide_catalog)
+    try:
+        # Bit-identical mode: the float aggregation stays serial.
+        rows = strict.execute(sql)
+        assert rows == serial.execute(sql)
+        assert not strict.last_exec_stats.parallel
+        assert "order-sensitive" in strict.last_exec_stats.reason
+        # Relaxed mode goes parallel; values agree to rounding.
+        relaxed_rows = relaxed.execute(sql)
+        assert relaxed.last_exec_stats.parallel
+        assert len(relaxed_rows) == len(rows)
+        for got, want in zip(relaxed_rows, rows):
+            assert got[0] == want[0]
+            assert got[1] == pytest.approx(want[1], rel=1e-12)
+            assert got[2] == pytest.approx(want[2], rel=1e-12)
+    finally:
+        strict.close()
+        relaxed.close()
+        serial.close()
+
+
+def test_join_plans_fall_back_to_serial(simple_db):
+    simple_db.set_parallel(min_pages=1)
+    rows = simple_db.execute(
+        "SELECT t.a, u.d FROM t, u WHERE t.k = u.k AND t.a < 30"
+    )
+    assert rows  # correct result either way
+    stats = simple_db.last_exec_stats("hique")
+    assert not stats.parallel
+    assert "serially" in stats.reason or "not parallelized" in stats.reason
+
+
+def test_small_tables_stay_serial(simple_db):
+    simple_db.execute("SELECT a FROM t WHERE a < 10")
+    stats = simple_db.last_exec_stats("hique")
+    assert not stats.parallel
+    assert "min_pages" in stats.reason
+
+
+def test_forced_sort_aggregation_stays_serial(wide_catalog):
+    engine = HiqueEngine(
+        wide_catalog,
+        planner_config=PlannerConfig(force_agg="sort"),
+        parallel=PARALLEL,
+    )
+    try:
+        serial = HiqueEngine(wide_catalog, planner_config=PlannerConfig(force_agg="sort"))
+        sql = "SELECT c, count(*) AS n FROM t GROUP BY c"
+        assert engine.execute(sql) == serial.execute(sql)
+        assert not engine.last_exec_stats.parallel
+        serial.close()
+    finally:
+        engine.close()
+
+
+def test_map_overflow_falls_back_identically():
+    """Stale statistics overflow the merged value directory too."""
+    catalog = Catalog()
+    schema = Schema([Column("k", INT), Column("v", INT)])
+    table = table_from_rows(
+        "u", schema, [(i, i % 3) for i in range(4000)], buffer=catalog.buffer
+    )
+    catalog.register(table)
+    catalog.analyze()
+    # Now the data outgrows the analysed distinct count.
+    table.load_rows([(i + 4000, i % 883) for i in range(4000)])
+    config = PlannerConfig(force_agg="map")
+    parallel = HiqueEngine(
+        catalog, planner_config=config, parallel=PARALLEL
+    )
+    serial = HiqueEngine(catalog, planner_config=config)
+    try:
+        sql = "SELECT v, count(*) AS n FROM u GROUP BY v"
+        assert parallel.execute(sql) == serial.execute(sql)
+    finally:
+        parallel.close()
+        serial.close()
+
+
+def test_analyze_plan_reports_reasons(wide_catalog):
+    engine = HiqueEngine(wide_catalog)
+    try:
+        shape, reason = analyze_plan(
+            engine.prepare("SELECT a FROM t WHERE a < 5").plan
+        )
+        assert shape is not None and reason == ""
+        assert shape.tail == [] and shape.aggregate is None
+    finally:
+        engine.close()
+
+
+# -- knobs ------------------------------------------------------------------------------
+
+
+def test_database_knobs_and_counters(wide_catalog):
+    db = Database(catalog=wide_catalog, workers=3, parallel=True)
+    try:
+        db.set_parallel(min_pages=2, morsel_pages=4)
+        db.execute("SELECT count(*) AS n FROM t")
+        stats = db.last_exec_stats("hique")
+        assert stats.parallel and stats.workers == 3
+        assert stats.morsels > 1
+        parallel_runs, _serial = db.parallel_counters()
+        assert parallel_runs >= 1
+        # Turning the subsystem off pins execution to the serial path.
+        db.set_parallel(enabled=False)
+        db.execute("SELECT count(*) AS n FROM t WHERE c = 1")
+        assert not db.last_exec_stats("hique").parallel
+    finally:
+        db.close()
+
+
+def test_parallel_config_validation():
+    with pytest.raises(ValueError):
+        ParallelConfig(workers=0)
+    with pytest.raises(ValueError):
+        ParallelConfig(morsel_pages=0)
+
+
+# -- cost-aware cache admission ---------------------------------------------------------
+
+
+def test_cache_cost_aware_eviction_protects_valuable_entries():
+    cache = PlanCache(capacity=2)
+    cache.put("expensive", 1, cost_seconds=0.5, size_bytes=100)
+    cache.put("cheap", 2, cost_seconds=0.001, size_bytes=100)
+    # Hits earn the expensive entry its bytes even though it is LRU.
+    cache.get("expensive")
+    cache.get("cheap")
+    cache.put("newcomer", 3, cost_seconds=0.1, size_bytes=100)
+    assert "expensive" in cache
+    assert "cheap" not in cache  # lowest seconds-saved/size score
+    assert "newcomer" in cache
+    assert cache.stats().policy.startswith("cost-aware")
+
+
+def test_cache_ties_break_in_lru_order():
+    cache = PlanCache(capacity=2)
+    cache.put("first", 1)
+    cache.put("second", 2)
+    cache.put("third", 3)  # all scores zero: evict the LRU entry
+    assert "first" not in cache
+    assert "second" in cache and "third" in cache
+
+
+def test_cache_entry_counters_update_under_lock():
+    cache = PlanCache(capacity=4)
+    cache.put("k", "v", cost_seconds=0.25)
+    threads_n, per_thread = 8, 200
+
+    def hammer():
+        for _ in range(per_thread):
+            cache.get("k")
+
+    threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    entry = cache.entries()[-1]
+    assert entry.hits == threads_n * per_thread  # no dropped increments
+    assert entry.seconds_saved == pytest.approx(
+        entry.hits * entry.cost_seconds
+    )
+    stats = cache.stats()
+    assert stats.hits == threads_n * per_thread
+    assert stats.seconds_saved == pytest.approx(entry.seconds_saved)

@@ -149,6 +149,27 @@ class TestBufferManager:
         assert fresh.read(0) == (1, 2.0)
         file.close()
 
+    def test_shared_pins_for_block_then_releases(self, schema):
+        buffer = BufferManager(capacity=1)
+        file = MemoryFile()
+        file.append_page(_blank_page(schema))
+        file.append_page(_blank_page(schema))
+        with buffer.shared(file, 0, schema):
+            assert buffer.num_pinned == 1
+            with pytest.raises(BufferPoolError):
+                buffer.scan_page(file, 1, schema)  # frame 0 is protected
+        assert buffer.num_pinned == 0
+        buffer.scan_page(file, 1, schema)  # now evictable again
+
+    def test_shared_unpins_on_exception(self, schema):
+        buffer = BufferManager(capacity=2)
+        file = MemoryFile()
+        file.append_page(_blank_page(schema))
+        with pytest.raises(RuntimeError):
+            with buffer.shared(file, 0, schema):
+                raise RuntimeError("reader failed")
+        assert buffer.num_pinned == 0
+
     def test_capacity_must_be_positive(self):
         with pytest.raises(StorageError):
             BufferManager(capacity=0)
