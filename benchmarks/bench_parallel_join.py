@@ -1,0 +1,201 @@
+"""Parallel join pipeline: serial vs 4-worker hash join + ORDER BY.
+
+PR 2 parallelized only leaf scans, so a join query collapsed back to a
+single thread for its most expensive phases: staging both inputs and
+running the join body.  With the phase scheduler, staging runs as
+morsel-parallel partitioned scans, the fine hash join runs one
+generated ``*_pair`` task per matching partition, and the final ORDER
+BY runs as per-chunk sorted runs plus a k-way merge — end to end
+parallel, with rows byte-identical to the serial run.
+
+The measurement mirrors ``bench_parallel_scan.py``: both tables live in
+disk-backed files whose every page fetch carries a modeled seek latency
+(``DiskFile(read_latency=...)``), kernel readahead is disabled, and the
+buffer pool plus OS page cache are dropped before each timed round.
+Staging is therefore latency-bound — the regime where overlapping page
+waits across workers banks real wall-clock time on any host — which is
+what makes the ≥2.5× acceptance gate deterministic across machines.
+
+Besides the rendered table, the run writes ``BENCH_parallel_join.json``
+(consumed by CI as an artifact) with the raw seconds and the speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, save_result
+from repro.api import Database
+from repro.bench.reporting import ExperimentResult
+from repro.plan.optimizer import PlannerConfig
+from repro.storage import Catalog, Column, INT, Schema, char
+from repro.storage.buffer import BufferManager
+from repro.storage.heapfile import DiskFile
+from repro.storage.table import Table
+
+WORKERS = 4
+ROUNDS = 5
+NUM_CUSTOMERS = 256
+ORDERS_PER_CUSTOMER = 4
+#: Modeled per-page fetch latency: a seek-bound / networked disk.
+READ_LATENCY = 1e-3
+
+#: Wide tuples keep pages plentiful and per-page decode cheap relative
+#: to the modeled fetch, as in the paper's TPC-H tables.
+PAD = char(2000)
+
+SQL = (
+    "SELECT orders.cust AS cust, orders.amount AS amount, "
+    "customers.region AS region FROM orders, customers "
+    "WHERE orders.cust = customers.cust "
+    "ORDER BY amount DESC, cust"
+)
+
+
+def _drop_caches(db: Database) -> None:
+    """Cold-start a round: empty the buffer pool and the OS page cache."""
+    db.buffer.evict_all()
+    for table in db.catalog.tables():
+        if isinstance(table.file, DiskFile):
+            table.file.drop_os_cache()
+
+
+@pytest.fixture(scope="module")
+def join_db(tmp_path_factory):
+    base = tmp_path_factory.mktemp("parallel_join")
+    buffer = BufferManager(capacity=8192)
+    catalog = Catalog(buffer)
+
+    orders_schema = Schema(
+        [Column("cust", INT), Column("amount", INT), Column("pad", PAD)]
+    )
+    orders_file = DiskFile(
+        str(base / "orders.pages"), read_latency=READ_LATENCY
+    )
+    orders = Table("orders", orders_schema, file=orders_file, buffer=buffer)
+    orders.load_rows(
+        (i % NUM_CUSTOMERS, (i * 7919) % 10_000, f"o{i}")
+        for i in range(NUM_CUSTOMERS * ORDERS_PER_CUSTOMER)
+    )
+    orders_file.advise_random()
+    catalog.register(orders)
+
+    customers_schema = Schema(
+        [Column("cust", INT), Column("region", INT), Column("pad", PAD)]
+    )
+    customers_file = DiskFile(
+        str(base / "customers.pages"), read_latency=READ_LATENCY
+    )
+    customers = Table(
+        "customers", customers_schema, file=customers_file, buffer=buffer
+    )
+    customers.load_rows(
+        (c, c % 16, f"c{c}") for c in range(NUM_CUSTOMERS)
+    )
+    customers_file.advise_random()
+    catalog.register(customers)
+    catalog.analyze()
+
+    # Both join keys have ≤512 distinct values, so forcing the hash
+    # algorithm stages fine (value-directory) partitions and the join
+    # runs one generated pair task per matching partition.
+    db = Database(
+        catalog=catalog,
+        planner_config=PlannerConfig(force_join="hash"),
+        max_workers=WORKERS,
+        workers=WORKERS,
+    )
+    db.set_parallel(morsel_pages=8, min_pages=8, min_rows=64)
+    yield db
+    db.close()
+
+
+def _measure(db: Database) -> tuple[float, float, int]:
+    """(serial seconds, parallel seconds, pages) for one cold round each."""
+    statement = db.prepare(SQL)
+    want = statement.execute()  # warm the plan; establish the baseline rows
+    pages = sum(t.num_pages for t in db.catalog.tables())
+
+    db.set_parallel(enabled=False)
+    statement.execute()  # re-warm the plan under the serial config
+    _drop_caches(db)
+    started = time.perf_counter()
+    serial_rows = statement.execute()
+    serial = time.perf_counter() - started
+
+    db.set_parallel(enabled=True)
+    statement.execute()
+    _drop_caches(db)
+    started = time.perf_counter()
+    parallel_rows = statement.execute()
+    parallel = time.perf_counter() - started
+
+    stats = db.last_exec_stats("hique")
+    assert stats is not None and stats.parallel, stats
+    assert any(
+        phase.name == "join" and phase.workers > 1 for phase in stats.phases
+    ), stats
+    # The whole point: parallel rows are byte-identical to serial rows.
+    assert parallel_rows == serial_rows == want
+    return serial, parallel, pages
+
+
+@pytest.fixture(scope="module")
+def join_report(join_db):
+    rounds = [_measure(join_db) for _ in range(ROUNDS)]
+    # Each mode keeps its best (minimum) time across rounds, damping
+    # scheduler noise symmetrically.
+    serial = min(r[0] for r in rounds)
+    parallel = min(r[1] for r in rounds)
+    pages = rounds[0][2]
+    best = {
+        "serial_seconds": serial,
+        "parallel_seconds": parallel,
+        "speedup": serial / parallel,
+        "workers": WORKERS,
+        "pages": pages,
+        "orders_rows": NUM_CUSTOMERS * ORDERS_PER_CUSTOMER,
+        "customers_rows": NUM_CUSTOMERS,
+    }
+
+    result = ExperimentResult(
+        name="Parallel join: serial baseline vs "
+        f"{WORKERS}-worker pipeline (cold disk)",
+        headers=["mode", "serial s", "parallel s", "speedup"],
+    )
+    result.add(
+        "hash join + ORDER BY (staging/join/sort phases)",
+        best["serial_seconds"],
+        best["parallel_seconds"],
+        best["speedup"],
+    )
+    result.note(
+        f"{pages} disk-backed pages across both inputs, "
+        f"{READ_LATENCY * 1000:.0f} ms modeled page latency; buffer pool "
+        f"and OS cache dropped before every timed round, so parallel "
+        f"staging overlaps genuine read waits. Best of {ROUNDS} rounds; "
+        f"parallel rows byte-identical to serial."
+    )
+    save_result(result)
+
+    path = os.path.join(RESULTS_DIR, "BENCH_parallel_join.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(best, handle, indent=2, sort_keys=True)
+    return best
+
+
+def test_report_written(join_report):
+    path = os.path.join(RESULTS_DIR, "BENCH_parallel_join.json")
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["workers"] == WORKERS
+    assert payload["speedup"] > 0
+
+
+def test_parallel_join_meets_speedup_gate(join_report):
+    """Acceptance: ≥2.5× at 4 workers on the latency-bound pipeline."""
+    assert join_report["speedup"] >= 2.5, join_report

@@ -158,6 +158,7 @@ class Database:
         enabled: bool | None = None,
         morsel_pages: int | None = None,
         min_pages: int | None = None,
+        min_rows: int | None = None,
         allow_float_reorder: bool | None = None,
     ) -> ParallelConfig:
         """Reconfigure morsel-driven parallelism at run time.
@@ -178,6 +179,9 @@ class Database:
             enabled=enabled if enabled is not None else current.enabled,
             min_pages=(
                 min_pages if min_pages is not None else current.min_pages
+            ),
+            min_rows=(
+                min_rows if min_rows is not None else current.min_rows
             ),
             allow_float_reorder=(
                 allow_float_reorder

@@ -16,8 +16,10 @@ executed through ``.prepare`` / ``.exec``.  Meta-commands:
 * ``.exec [v1, v2, ...]`` — run the last prepared statement with the
   given parameter values (int, float or 'string')
 * ``.cache [clear]`` — show (or reset) plan-cache and service stats
-* ``.workers <n>`` — set the morsel-scan worker count
-* ``.parallel on|off`` — toggle morsel-driven parallel execution
+* ``.workers <n>`` — set the parallel worker count
+* ``.parallel [on|off]`` — toggle morsel-driven parallel execution; with
+  no argument, show the configuration and the last execution's
+  per-phase (stage/join/aggregate/final) breakdown
 * ``.tpch [sf]`` — load a TPC-H instance (default scale factor 0.002)
 * ``.timing on|off`` — toggle per-query timing
 * ``.quit`` — exit
@@ -131,15 +133,29 @@ class Shell:
                     f"(parallel {'on' if config.enabled else 'off'})"
                 )
         elif command == ".parallel":
-            if argument not in ("on", "off"):
-                self.write("usage: .parallel on|off")
-            else:
+            if argument in ("on", "off"):
                 config = self.db.set_parallel(enabled=argument == "on")
                 self.write(
                     f"parallel execution {'on' if config.enabled else 'off'} "
                     f"({config.workers} workers, "
                     f"{config.morsel_pages} pages/morsel)"
                 )
+            elif argument == "":
+                config = self.db.parallel_config
+                self.write(
+                    f"parallel execution "
+                    f"{'on' if config.enabled else 'off'} "
+                    f"({config.workers} workers, {config.morsel_pages} "
+                    f"pages/morsel, min_pages {config.min_pages}, "
+                    f"min_rows {config.min_rows})"
+                )
+                stats = self.db.last_exec_stats(self.engine_kind)
+                if stats is not None:
+                    self.write(f"last execution: {stats.describe()}")
+                    for note in stats.notes:
+                        self.write(f"  serial: {note}")
+            else:
+                self.write("usage: .parallel [on|off]")
         elif command == ".tpch":
             scale = float(argument) if argument else 0.002
             from repro.bench.tpch import generate_tpch

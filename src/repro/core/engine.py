@@ -12,6 +12,7 @@ issued queries".
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
@@ -95,7 +96,17 @@ class HiqueEngine:
         self.compiler = QueryCompiler(workdir)
         self._cache: dict[tuple[str, str, bool], PreparedQuery] = {}
         #: Morsel-driven intra-query parallelism; None keeps every
-        #: execution on the serial composed entry point.
+        #: execution on the serial composed entry point.  Setting
+        #: REPRO_DEFAULT_PARALLEL makes engines constructed without an
+        #: explicit config default to the parallel path (CI uses this
+        #: to exercise it across the whole test suite), with
+        #: REPRO_DEFAULT_WORKERS sizing the pool.
+        if parallel is None and os.environ.get(
+            "REPRO_DEFAULT_PARALLEL", ""
+        ) not in ("", "0"):
+            parallel = ParallelConfig(
+                workers=int(os.environ.get("REPRO_DEFAULT_WORKERS", "4"))
+            )
         self.parallel = (
             ParallelExecutor(parallel) if parallel is not None else None
         )

@@ -23,23 +23,38 @@ latch); the executor is imported lazily on first attribute access.
 """
 
 from repro.parallel.latch import ReadWriteLatch
+from repro.parallel.merge import (
+    Desc,
+    chunk_bounds,
+    kway_merge,
+    merge_ordered_runs,
+    merge_sorted_runs,
+)
 from repro.parallel.morsel import (
     DEFAULT_MORSEL_PAGES,
     Morsel,
     MorselDispatcher,
+    TaskDispatcher,
     morsels_for,
 )
-from repro.parallel.stats import ExecutionStats, ParallelConfig
+from repro.parallel.stats import ExecutionStats, ParallelConfig, PhaseStats
 
 __all__ = [
     "DEFAULT_MORSEL_PAGES",
+    "Desc",
     "ExecutionStats",
     "Morsel",
     "MorselDispatcher",
     "ParallelConfig",
     "ParallelExecutor",
+    "PhaseStats",
     "ReadWriteLatch",
+    "TaskDispatcher",
+    "chunk_bounds",
+    "kway_merge",
     "merge_aggregate_partials",
+    "merge_ordered_runs",
+    "merge_sorted_runs",
     "morsels_for",
 ]
 

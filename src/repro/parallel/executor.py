@@ -1,28 +1,40 @@
 """Morsel-driven parallel execution of generated query code.
 
 The serial executor calls a generated module's composed ``run_query``
-entry point.  This executor instead drives the module's *morsel-aware*
-entry points directly:
+entry point.  This executor instead walks the physical plan's operator
+list itself — a *phase scheduler* — and drives each operator's
+generated entry points with a worker pool wherever an order-preserving
+parallel strategy exists:
 
-* the generated staging function for the plan's scan is called once per
-  :class:`~repro.parallel.morsel.Morsel` with an explicit page range —
-  the same inlined scan–filter–project loop, restricted to a slice of
-  the table;
-* for aggregation plans, each worker folds its morsels into
-  *thread-local partial states* through the generated ``*_partial``
-  function; partials are merged here, group by group, and finalized
-  against the plan's output expressions;
-* projections run per morsel (a pure row map); final ORDER BY / LIMIT
-  run once over the merged result through the generated functions.
+* **stage** — every table scan (staged or not) is split into page-range
+  :class:`~repro.parallel.morsel.Morsel`\\ s; each worker runs the same
+  generated scan–filter–project(–prep) loop over its slices, and the
+  per-morsel results are reassembled to exactly the serial staging
+  output: plain chunks concatenate in page order, sorted runs go
+  through a stability-preserving k-way merge, partitions merge bucket
+  by bucket (see :mod:`repro.parallel.merge`);
+* **join** — hash/hybrid joins run their generated ``*_pair`` entry
+  point per partition pair, merge and nested-loops joins per outer row
+  chunk (with the inner side pre-sliced by binary search for merges);
+  per-task output buffers concatenate in task order, which is the
+  serial emission order;
+* **aggregate** — map and global aggregation fold row chunks into
+  thread-local partial states through the generated ``*_partial``
+  function, merged group by group here; sort/hybrid aggregation
+  consumes its (parallel-)staged input through the serial generated
+  function, which is exact by construction;
+* **final** — ORDER BY runs as per-chunk sorted runs plus a
+  mixed-direction k-way merge; projections fuse into the scan they
+  consume; LIMIT is a serial slice.
 
-Workers pull morsels from a shared :class:`MorselDispatcher`, so load
-balances dynamically; partial results are reassembled in morsel order,
-which keeps parallel output row-for-row identical to a serial run.
-
-Plans outside the supported shape — joins, staged (sorted/partitioned)
-inputs, traced runs — fall back to the serial entry point; the
-:class:`ExecutionStats` returned with every result says which way the
-query went and why.
+Workers pull work units from shared dispatchers, so load balances
+dynamically; every merge is order-preserving, which keeps parallel
+output row-for-row identical to a serial run for every plan shape.
+Operators below the configured size thresholds — and the few without a
+parallel strategy (restaging, join teams) — simply run their serial
+generated function in plan order, so a scheduled run degrades
+gracefully instead of falling back wholesale.  :class:`ExecutionStats`
+reports the per-phase timings, worker counts and any serial decisions.
 """
 
 from __future__ import annotations
@@ -37,15 +49,32 @@ from repro.core.executor import build_context, run_compiled
 from repro.core.templates.aggregate import collect_aggregates
 from repro.errors import MapDirectoryOverflow
 from repro.memsim.probe import NULL_PROBE, NullProbe
-from repro.parallel.morsel import MorselDispatcher
-from repro.parallel.stats import ExecutionStats, ParallelConfig
+from repro.parallel.merge import (
+    chunk_bounds,
+    lower_bound,
+    merge_fine_partition_runs,
+    merge_ordered_runs,
+    merge_partition_runs,
+    merge_partition_sorted_runs,
+    merge_sorted_runs,
+)
+from repro.parallel.morsel import MorselDispatcher, TaskDispatcher
+from repro.parallel.stats import ExecutionStats, ParallelConfig, PhaseStats
 from repro.plan.descriptors import (
     AGG_MAP,
     Aggregate,
+    JOIN_HASH,
+    JOIN_MERGE,
+    JOIN_NESTED,
+    Join,
     Limit,
+    MultiwayJoin,
     PREP_NONE,
-    PhysicalPlan,
+    PREP_PARTITION,
+    PREP_PARTITION_SORT,
+    PREP_SORT,
     Project,
+    Restage,
     ScanStage,
     Sort,
 )
@@ -57,64 +86,70 @@ from repro.sql.bound import (
 )
 from repro.storage.types import DOUBLE
 
+#: Canonical phase order for reporting.
+PHASE_ORDER = ("stage", "join", "aggregate", "final")
+
+_PHASE_OF = {
+    ScanStage: "stage",
+    Restage: "stage",
+    Join: "join",
+    MultiwayJoin: "join",
+    Aggregate: "aggregate",
+    Project: "final",
+    Sort: "final",
+    Limit: "final",
+}
+
 
 @dataclass
-class _ParallelShape:
-    """A plan sliced into its morsel-parallel and serial parts."""
+class _Report:
+    """What a scheduled run did: per-phase stats plus serial notes."""
 
-    scan: ScanStage
-    aggregate: Aggregate | None = None
-    project: Project | None = None
-    #: Final Sort/Limit operators, run serially over the merged rows.
-    tail: list = field(default_factory=list)
+    skips: list[str] = field(default_factory=list)
+    phases: dict[str, PhaseStats] = field(default_factory=dict)
+    morsels: int = 0
+    pages: int = 0
 
+    def skip(self, reason: str) -> None:
+        if reason not in self.skips:
+            self.skips.append(reason)
 
-def analyze_plan(plan: PhysicalPlan) -> tuple[_ParallelShape | None, str]:
-    """Decide whether a plan fits the morsel-parallel shape.
-
-    Supported: one unstaged table scan, optionally followed by either a
-    projection or an aggregation (ungrouped, or grouped with map
-    aggregation — the algorithms whose input needs no global order),
-    then any run of Sort/Limit.  Everything else — joins, restaging,
-    sort/hybrid aggregation — reports a reason and runs serially.
-    """
-    operators = list(plan.operators)
-    scan = operators[0]
-    if not isinstance(scan, ScanStage):
-        return None, "plan does not start with a table scan"
-    if any(isinstance(op, ScanStage) for op in operators[1:]):
-        return None, "multi-table plan (joins run serially)"
-    if scan.prep.kind != PREP_NONE:
-        return None, f"scan staging prep {scan.prep.kind!r} needs global order"
-
-    shape = _ParallelShape(scan=scan)
-    rest = operators[1:]
-    if rest and isinstance(rest[0], Aggregate):
-        aggregate = rest[0]
-        if aggregate.group_positions and aggregate.algorithm != AGG_MAP:
-            return (
-                None,
-                f"{aggregate.algorithm} aggregation needs ordered input",
+    def note(
+        self, phase: str, seconds: float, workers: int, tasks: int
+    ) -> None:
+        entry = self.phases.get(phase)
+        if entry is None:
+            self.phases[phase] = PhaseStats(
+                name=phase, seconds=seconds, workers=workers, tasks=tasks
             )
-        shape.aggregate = aggregate
-        rest = rest[1:]
-    elif rest and isinstance(rest[0], Project):
-        shape.project = rest[0]
-        rest = rest[1:]
-    for op in rest:
-        if not isinstance(op, (Sort, Limit)):
-            return None, f"operator {type(op).__name__} is not parallelized"
-        shape.tail.append(op)
-    return shape, ""
+        else:
+            entry.seconds += seconds
+            entry.workers = max(entry.workers, workers)
+            entry.tasks += tasks
+
+    @property
+    def went_parallel(self) -> bool:
+        return any(phase.workers > 1 for phase in self.phases.values())
+
+    def max_workers(self) -> int:
+        return max(
+            (phase.workers for phase in self.phases.values()), default=1
+        )
+
+    def ordered_phases(self) -> list[PhaseStats]:
+        return [
+            self.phases[name] for name in PHASE_ORDER if name in self.phases
+        ]
 
 
 class ParallelExecutor:
     """Runs prepared queries over a shared worker pool.
 
     One instance per engine; thread-safe, so concurrent sessions share
-    the pool and their morsels interleave.  ``run()`` never changes
-    result semantics: it either executes the morsel-parallel shape with
-    order-preserving merges or delegates to the serial entry point.
+    the pool and their work units interleave.  ``run()`` never changes
+    result semantics: every parallel strategy reassembles its partial
+    results order-preservingly, and anything else runs the serial
+    generated functions in plan order.
     """
 
     def __init__(self, config: ParallelConfig | None = None):
@@ -139,6 +174,49 @@ class ParallelExecutor:
                     thread_name_prefix="repro-morsel",
                 )
             return [self._pool.submit(fn) for _ in range(count)]
+
+    def run_tasks(self, tasks: list, config: ParallelConfig) -> tuple[list, int]:
+        """Run zero-arg callables on the pool; results in task order.
+
+        Workers claim indices from a :class:`TaskDispatcher`, so a slow
+        task never stalls the queue behind it.  Returns ``(results,
+        actual_workers)``; the first task exception (if any) is
+        re-raised after all workers drain.
+        """
+        dispatcher = TaskDispatcher(len(tasks))
+        out: list = [None] * len(tasks)
+        workers = min(config.workers, len(tasks))
+
+        def drain() -> None:
+            while True:
+                index = dispatcher.next()
+                if index is None:
+                    return
+                out[index] = tasks[index]()
+
+        self.drain_futures(self._submit(drain, workers))
+        return out, workers
+
+    @staticmethod
+    def drain_futures(futures: list, collect=None) -> None:
+        """Await every worker future, then re-raise the first error.
+
+        Draining all futures before raising keeps no worker running
+        against state the caller is about to unwind; ``collect``
+        receives each successful result in submission order.
+        """
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                result = future.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+            else:
+                if collect is not None:
+                    collect(result)
+        if error is not None:
+            raise error
 
     def reconfigure(self, config: ParallelConfig) -> None:
         """Swap the configuration and retire the current worker pool.
@@ -176,8 +254,8 @@ class ParallelExecutor:
         # One consistent view of the knobs for the whole run, even if a
         # concurrent reconfigure() swaps self.config mid-execution.
         config = self.config
-        shape, reason = self._classify(prepared, probe, config)
-        if shape is None:
+        reason = self._ineligible(prepared, probe, config)
+        if reason:
             rows = run_compiled(
                 prepared.compiled, prepared.plan, probe=probe, params=params
             )
@@ -185,20 +263,34 @@ class ParallelExecutor:
                 len(rows), time.perf_counter() - started, reason
             )
 
-        rows, morsels, pages, workers = self._run_parallel(
-            prepared, shape, params, config
-        )
+        report = _Report()
+        rows = _ScheduledRun(
+            self, prepared, tuple(params), config, report
+        ).execute()
+        elapsed = time.perf_counter() - started
+        if not report.went_parallel:
+            with self._lock:
+                self.serial_runs += 1
+            return rows, ExecutionStats(
+                parallel=False,
+                rows=len(rows),
+                elapsed_seconds=elapsed,
+                reason="; ".join(report.skips) or "no parallelizable phase",
+                phases=report.ordered_phases(),
+                notes=list(report.skips),
+            )
         with self._lock:
             self.parallel_runs += 1
-        stats = ExecutionStats(
+        return rows, ExecutionStats(
             parallel=True,
-            workers=workers,
-            morsels=morsels,
-            pages=pages,
+            workers=report.max_workers(),
+            morsels=report.morsels,
+            pages=report.pages,
             rows=len(rows),
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=elapsed,
+            phases=report.ordered_phases(),
+            notes=list(report.skips),
         )
-        return rows, stats
 
     def note_serial(
         self, num_rows: int, elapsed_seconds: float, reason: str
@@ -218,74 +310,148 @@ class ParallelExecutor:
             reason=reason,
         )
 
-    def _classify(
-        self, prepared, probe: NullProbe, config: ParallelConfig
-    ) -> tuple[_ParallelShape | None, str]:
-        """(shape, "") to go parallel; (None, reason) for the serial path."""
+    @staticmethod
+    def _ineligible(
+        prepared, probe: NullProbe, config: ParallelConfig
+    ) -> str:
+        """A reason to skip scheduling entirely, or "" to schedule."""
         if not config.enabled:
-            return None, "parallel execution disabled"
+            return "parallel execution disabled"
         if config.workers <= 1:
-            return None, "single worker configured"
+            return "single worker configured"
         if probe.enabled:
-            return None, "traced execution (probe is not thread-safe)"
+            return "traced execution (probe is not thread-safe)"
         if prepared.compiled.traced:
             # A traced module dereferences ctx.probe internals; without
             # a probe the serial path raises the proper ExecutionError.
-            return None, "traced module (runs on the serial entry point)"
-        shape, reason = analyze_plan(prepared.plan)
-        if shape is None:
-            return None, reason
-        if shape.scan.table.num_pages < config.min_pages:
-            return None, (
-                f"table has {shape.scan.table.num_pages} pages "
-                f"(< min_pages {config.min_pages})"
-            )
-        if shape.aggregate is not None:
-            name = prepared.generated.function_names[shape.aggregate.op_id]
-            if f"{name}_partial" not in prepared.compiled.namespace:
-                return None, "generated module lacks a partial-aggregation entry"
-            if not config.allow_float_reorder:
-                for node in collect_aggregates(shape.aggregate):
-                    if (
-                        node.func in ("sum", "avg")
-                        and node.argument is not None
-                        and node.argument.dtype == DOUBLE
-                    ):
-                        return None, (
-                            "DOUBLE sum/avg is order-sensitive "
-                            "(allow_float_reorder is off)"
-                        )
-        return shape, ""
+            return "traced module (runs on the serial entry point)"
+        return ""
 
-    def _run_parallel(
+
+class _ScheduledRun:
+    """One execution of a plan through the phase scheduler."""
+
+    def __init__(
         self,
+        executor: ParallelExecutor,
         prepared,
-        shape: _ParallelShape,
         params: tuple,
         config: ParallelConfig,
-    ) -> tuple[list[tuple], int, int, int]:
-        plan = prepared.plan
-        namespace = prepared.compiled.namespace
-        names = prepared.generated.function_names
-        ctx = build_context(
-            plan, opt_level=prepared.compiled.opt_level, params=params
+        report: _Report,
+    ):
+        self.executor = executor
+        self.prepared = prepared
+        self.plan = prepared.plan
+        self.namespace = prepared.compiled.namespace
+        self.names = prepared.generated.function_names
+        self.params = params
+        self.config = config
+        self.report = report
+        self.ctx = build_context(
+            self.plan, opt_level=prepared.compiled.opt_level, params=params
+        )
+        #: op_id → materialized result (None for a scan fused away).
+        self.results: dict[int, object] = {}
+
+    def execute(self) -> list[tuple]:
+        operators = list(self.plan.operators)
+        index = 0
+        while index < len(operators):
+            op = operators[index]
+            consumed = 1
+            if isinstance(op, ScanStage):
+                following = (
+                    operators[index + 1]
+                    if index + 1 < len(operators)
+                    else None
+                )
+                consumed = self._scan(op, following)
+            elif isinstance(op, Join):
+                self._join(op)
+            elif isinstance(op, Aggregate):
+                self._aggregate(op)
+            elif isinstance(op, Sort):
+                self._sort(op)
+            else:
+                self._serial(op)
+            index += consumed
+        return self.results[self.plan.root.op_id]
+
+    # -- shared helpers ---------------------------------------------------------------
+    def _serial(self, op) -> None:
+        """Run one operator's serial generated function in plan order."""
+        started = time.perf_counter()
+        fn = self.namespace[self.names[op.op_id]]
+        args = [self.results[input_id] for input_id in op.inputs]
+        self.results[op.op_id] = fn(self.ctx, *args)
+        self.report.note(
+            _PHASE_OF[type(op)], time.perf_counter() - started, 1, 1
         )
 
-        scan_fn = namespace[names[shape.scan.op_id]]
-        post_fn = None
-        if shape.aggregate is not None:
-            post_fn = namespace[f"{names[shape.aggregate.op_id]}_partial"]
-        elif shape.project is not None:
-            post_fn = namespace[names[shape.project.op_id]]
+    def _chunk_size(self, num_rows: int) -> int:
+        """Rows per chunk: ~4 chunks per worker, floored so tiny chunks
+        never dominate dispatch overhead."""
+        per_worker = -(-num_rows // (self.config.workers * 4))
+        return max(per_worker, self.config.min_rows // 8, 1)
 
-        table = shape.scan.table
+    def _float_gated(self, op: Aggregate) -> bool:
+        """True when merging this aggregate's partials would reassociate
+        DOUBLE addition and the config demands bit-identical results."""
+        if self.config.allow_float_reorder:
+            return False
+        for node in collect_aggregates(op):
+            if (
+                node.func in ("sum", "avg")
+                and node.argument is not None
+                and node.argument.dtype == DOUBLE
+            ):
+                return True
+        return False
+
+    # -- stage phase -------------------------------------------------------------------
+    def _scan(self, op: ScanStage, following) -> int:
+        """Morsel-parallel scan + staging; returns operators consumed."""
+        table = op.table
+        config = self.config
+        if table.num_pages < config.min_pages:
+            self.report.skip(
+                f"table {op.binding!r}: {table.num_pages} pages "
+                f"(< min_pages {config.min_pages})"
+            )
+            self._serial(op)
+            return 1
+        if op.prep.kind == PREP_PARTITION_SORT and op.prep.fine:
+            # The template emits a value-directory dict for this combo;
+            # merge_partition_sorted_runs expects coarse bucket lists.
+            # The optimizer never builds it today — stay serial rather
+            # than corrupt results if a future planner change does.
+            self.report.skip(
+                f"table {op.binding!r}: fine partition-sort staging "
+                f"has no parallel merge"
+            )
+            self._serial(op)
+            return 1
         dispatcher = MorselDispatcher(table.num_pages, config.morsel_pages)
-        num_morsels = dispatcher.num_morsels
-        num_workers = min(config.workers, num_morsels)
+        if dispatcher.num_morsels < 2:
+            self.report.skip(f"table {op.binding!r}: single morsel")
+            self._serial(op)
+            return 1
 
-        def drain() -> dict[int, list]:
+        fused = self._fusable_consumer(op, following)
+        scan_fn = self.namespace[self.names[op.op_id]]
+        post_fn = None
+        if isinstance(fused, Aggregate):
+            post_fn = self.namespace[self.names[fused.op_id] + "_partial"]
+        elif isinstance(fused, Project):
+            post_fn = self.namespace[self.names[fused.op_id]]
+
+        started = time.perf_counter()
+        workers = min(config.workers, dispatcher.num_morsels)
+        ctx = self.ctx
+
+        def drain() -> dict[int, object]:
             """One worker: pull morsels until the dispatcher is dry."""
-            partials: dict[int, list] = {}
+            partials: dict[int, object] = {}
             while True:
                 morsel = dispatcher.next()
                 if morsel is None:
@@ -295,31 +461,248 @@ class ParallelExecutor:
                     post_fn(ctx, rows) if post_fn is not None else rows
                 )
 
-        futures = self._submit(drain, num_workers)
-        by_seq: dict[int, list] = {}
-        for future in futures:
-            by_seq.update(future.result())
+        by_seq: dict[int, object] = {}
+        self.executor.drain_futures(
+            self.executor._submit(drain, workers), by_seq.update
+        )
         ordered = [by_seq[seq] for seq in sorted(by_seq)]
+        self.report.note(
+            "stage", time.perf_counter() - started, workers,
+            dispatcher.num_morsels,
+        )
+        self.report.morsels += dispatcher.num_morsels
+        self.report.pages += table.num_pages
 
-        if shape.aggregate is not None:
-            input_layout = plan.op(shape.aggregate.input_op).output_layout
+        if isinstance(fused, Aggregate):
+            started = time.perf_counter()
+            input_layout = self.plan.op(fused.input_op).output_layout
             rows = merge_aggregate_partials(
-                shape.aggregate,
+                fused,
                 input_layout,
                 ordered,
-                params,
-                # O0 map aggregation is generic hashing: it emits groups
-                # in first-seen order and never overflows a directory.
-                directory_order=prepared.compiled.opt_level == OPT_O2,
+                self.params,
+                directory_order=self.prepared.compiled.opt_level == OPT_O2,
             )
+            self.results[op.op_id] = None
+            self.results[fused.op_id] = rows
+            self.report.note(
+                "aggregate", time.perf_counter() - started, 1, 1
+            )
+            return 2
+        if isinstance(fused, Project):
+            rows = []
+            for chunk in ordered:
+                rows.extend(chunk)
+            self.results[op.op_id] = None
+            self.results[fused.op_id] = rows
+            return 2
+
+        prep = op.prep
+        if prep.kind == PREP_SORT:
+            value: object = merge_sorted_runs(ordered, prep.keys)
+        elif prep.kind == PREP_PARTITION:
+            value = (
+                merge_fine_partition_runs(ordered)
+                if prep.fine
+                else merge_partition_runs(ordered)
+            )
+        elif prep.kind == PREP_PARTITION_SORT:
+            value = merge_partition_sorted_runs(ordered, prep.keys)
         else:
             rows = []
             for chunk in ordered:
                 rows.extend(chunk)
+            value = rows
+        self.results[op.op_id] = value
+        return 1
 
-        for op in shape.tail:
-            rows = namespace[names[op.op_id]](ctx, rows)
-        return rows, num_morsels, table.num_pages, num_workers
+    def _fusable_consumer(self, op: ScanStage, following):
+        """The next operator, when its work can ride inside scan tasks.
+
+        Only unstaged scans fuse (staged consumers need the complete
+        sorted/partitioned input), and only with the one operator that
+        consumes them: a projection (a pure per-row map) or a map/global
+        aggregation whose generated ``*_partial`` exists and whose
+        merge is exact under the float-reorder policy.
+        """
+        if following is None or op.prep.kind != PREP_NONE:
+            return None
+        if isinstance(following, Project) and following.input_op == op.op_id:
+            return following
+        if (
+            isinstance(following, Aggregate)
+            and following.input_op == op.op_id
+        ):
+            if following.group_positions and following.algorithm != AGG_MAP:
+                return None
+            name = self.names[following.op_id] + "_partial"
+            if name not in self.namespace:
+                return None
+            if self._float_gated(following):
+                return None
+            return following
+        return None
+
+    # -- join phase --------------------------------------------------------------------
+    def _join(self, op: Join) -> None:
+        pair_fn = self.namespace.get(self.names[op.op_id] + "_pair")
+        if pair_fn is None:
+            self.report.skip("join module lacks a pair entry point")
+            self._serial(op)
+            return
+        left = self.results[op.left_op]
+        right = self.results[op.right_op]
+        config = self.config
+        if op.algorithm in (JOIN_MERGE, JOIN_NESTED):
+            total = len(left) + len(right)
+        elif op.algorithm == JOIN_HASH:
+            total = sum(len(rows) for rows in left.values()) + sum(
+                len(rows) for rows in right.values()
+            )
+        else:
+            total = sum(len(rows) for rows in left) + sum(
+                len(rows) for rows in right
+            )
+        if total < config.min_rows:
+            self.report.skip(
+                f"join input {total} rows (< min_rows {config.min_rows})"
+            )
+            self._serial(op)
+            return
+
+        ctx = self.ctx
+        tasks: list = []
+        if op.algorithm in (JOIN_MERGE, JOIN_NESTED):
+            bounds = chunk_bounds(len(left), self._chunk_size(len(left)))
+            if len(bounds) < 2:
+                self.report.skip("join outer input yields a single chunk")
+                self._serial(op)
+                return
+            for lo, hi in bounds:
+                chunk = left[lo:hi]
+                if op.algorithm == JOIN_MERGE:
+                    # Each outer chunk only needs inner rows from its
+                    # first key onward; the merge body skips the rest.
+                    start = lower_bound(
+                        right, op.right_key, chunk[0][op.left_key]
+                    )
+                    inner = right[start:]
+                else:
+                    inner = right
+                tasks.append(
+                    lambda c=chunk, r=inner: pair_fn(ctx, c, r)
+                )
+        elif op.algorithm == JOIN_HASH:
+            # Serial emission order: left directory insertion order,
+            # skipping keys with no right-side partition.
+            keys = [key for key in left if key in right]
+            if len(keys) < 2:
+                self.report.skip("fewer than two matching fine partitions")
+                self._serial(op)
+                return
+            tasks = [
+                lambda k=key: pair_fn(ctx, left[k], right[k])
+                for key in keys
+            ]
+        else:  # hybrid: corresponding coarse partitions
+            if len(left) < 2:
+                self.report.skip("single coarse partition")
+                self._serial(op)
+                return
+            tasks = [
+                lambda i=index: pair_fn(ctx, left[i], right[i])
+                for index in range(len(left))
+            ]
+
+        started = time.perf_counter()
+        chunks, workers = self.executor.run_tasks(tasks, config)
+        out: list = []
+        for chunk in chunks:
+            out.extend(chunk)
+        self.results[op.op_id] = out
+        self.report.note(
+            "join", time.perf_counter() - started, workers, len(tasks)
+        )
+
+    # -- aggregate phase ---------------------------------------------------------------
+    def _aggregate(self, op: Aggregate) -> None:
+        config = self.config
+        partial = self.namespace.get(self.names[op.op_id] + "_partial")
+        if partial is None or (
+            op.group_positions and op.algorithm != AGG_MAP
+        ):
+            # Sort/hybrid aggregation folds its (parallel-)staged input
+            # through the serial generated function — exact, since the
+            # staged input is byte-identical to a serial run's.
+            self._serial(op)
+            return
+        if self._float_gated(op):
+            self.report.skip(
+                "DOUBLE sum/avg is order-sensitive "
+                "(allow_float_reorder is off)"
+            )
+            self._serial(op)
+            return
+        rows = self.results[op.input_op]
+        if len(rows) < config.min_rows:
+            self.report.skip(
+                f"aggregate input {len(rows)} rows "
+                f"(< min_rows {config.min_rows})"
+            )
+            self._serial(op)
+            return
+        bounds = chunk_bounds(len(rows), self._chunk_size(len(rows)))
+        if len(bounds) < 2:
+            self._serial(op)
+            return
+        ctx = self.ctx
+        tasks = [
+            lambda lo=lo, hi=hi: partial(ctx, rows[lo:hi])
+            for lo, hi in bounds
+        ]
+        started = time.perf_counter()
+        partials, workers = self.executor.run_tasks(tasks, config)
+        input_layout = self.plan.op(op.input_op).output_layout
+        self.results[op.op_id] = merge_aggregate_partials(
+            op,
+            input_layout,
+            partials,
+            self.params,
+            directory_order=self.prepared.compiled.opt_level == OPT_O2,
+        )
+        self.report.note(
+            "aggregate", time.perf_counter() - started, workers, len(tasks)
+        )
+
+    # -- final phase -------------------------------------------------------------------
+    def _sort(self, op: Sort) -> None:
+        rows = self.results[op.input_op]
+        config = self.config
+        if len(rows) < config.min_rows:
+            self.report.skip(
+                f"sort input {len(rows)} rows (< min_rows {config.min_rows})"
+            )
+            self._serial(op)
+            return
+        bounds = chunk_bounds(len(rows), self._chunk_size(len(rows)))
+        if len(bounds) < 2:
+            self._serial(op)
+            return
+        sort_fn = self.namespace[self.names[op.op_id]]
+        ctx = self.ctx
+        # Each task sorts a contiguous slice copy with the generated
+        # ORDER BY function; the k-way merge's run-order tie-break then
+        # reproduces the serial stable sort exactly.
+        tasks = [
+            lambda lo=lo, hi=hi: sort_fn(ctx, rows[lo:hi])
+            for lo, hi in bounds
+        ]
+        started = time.perf_counter()
+        runs, workers = self.executor.run_tasks(tasks, config)
+        self.results[op.op_id] = merge_ordered_runs(runs, op.keys)
+        self.report.note(
+            "final", time.perf_counter() - started, workers, len(tasks)
+        )
 
 
 # -- aggregate merging ------------------------------------------------------------------
@@ -340,12 +723,12 @@ def merge_aggregate_partials(
     params: tuple = (),
     directory_order: bool = True,
 ) -> list[tuple]:
-    """Fold per-morsel partial states and finalize output rows.
+    """Fold per-chunk partial states and finalize output rows.
 
-    Partials must arrive in morsel order: group keys are merged
-    first-seen, which reproduces the serial scan's discovery order and
-    therefore the serial output order (for map aggregation, via the
-    reconstructed value directories of Figure 4(b)).
+    Partials must arrive in chunk (page/row) order: group keys are
+    merged first-seen, which reproduces the serial scan's discovery
+    order and therefore the serial output order (for map aggregation,
+    via the reconstructed value directories of Figure 4(b)).
     """
     merged: dict[tuple, list[list]] = {}
     for partial in partials:
@@ -353,7 +736,7 @@ def merge_aggregate_partials(
             acc = merged.get(key)
             if acc is None:
                 # Adopt the worker-local states outright (each partial
-                # dict is owned by exactly one morsel).
+                # dict is owned by exactly one chunk).
                 merged[key] = states
             else:
                 for state, other in zip(acc, states):

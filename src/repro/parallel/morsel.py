@@ -78,3 +78,30 @@ class MorselDispatcher:
 def morsels_for(num_pages: int, morsel_pages: int = DEFAULT_MORSEL_PAGES) -> list[Morsel]:
     """Statically enumerate the morsels of a scan (for fan-out APIs)."""
     return list(MorselDispatcher(num_pages, morsel_pages))
+
+
+class TaskDispatcher:
+    """Atomically dispenses task indices ``0..count-1`` to a worker pool.
+
+    The row-level sibling of :class:`MorselDispatcher`: the parallel
+    phase scheduler enumerates a phase's units of work (partition
+    pairs, row chunks, sorted-run slices) up front, and workers claim
+    indices until the queue is dry — the same dynamic load balancing
+    morsel scans get, applied to materialized intermediates.
+    """
+
+    def __init__(self, count: int):
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.count = count
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def next(self) -> int | None:
+        """The next unclaimed task index, or None when all are taken."""
+        with self._lock:
+            if self._next >= self.count:
+                return None
+            index = self._next
+            self._next += 1
+            return index

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.parallel.morsel import DEFAULT_MORSEL_PAGES
 
@@ -11,9 +11,11 @@ from repro.parallel.morsel import DEFAULT_MORSEL_PAGES
 class ParallelConfig:
     """Knobs for morsel-driven intra-query parallelism.
 
-    ``workers`` sizes the scan worker pool; ``enabled`` turns the whole
-    subsystem off (every query runs the serial composed entry point);
-    ``min_pages`` keeps tiny tables serial, where thread fan-out costs
+    ``workers`` sizes the worker pool shared by every parallel phase;
+    ``enabled`` turns the whole subsystem off (every query runs the
+    serial composed entry point); ``min_pages`` keeps tiny table scans
+    serial and ``min_rows`` keeps small intermediates (join inputs,
+    aggregation inputs, final sorts) serial, where thread fan-out costs
     more than it saves.
     """
 
@@ -22,12 +24,16 @@ class ParallelConfig:
     enabled: bool = True
     #: Tables below this many pages are scanned serially.
     min_pages: int = 16
+    #: Materialized operator inputs below this many rows (summed over
+    #: both join sides) run the operator's serial generated function.
+    min_rows: int = 2048
     #: Merging per-morsel partial sums reassociates floating-point
     #: addition, which can change DOUBLE sum/avg results in the last
     #: ulp relative to a serial scan.  Off by default so parallel
     #: execution is bit-identical to serial; switch on to parallelize
     #: float aggregation too (every other aggregate is exact and always
-    #: eligible).
+    #: eligible — staging, joins and sorts never reassociate floats, so
+    #: they stay parallel and exact regardless of this knob).
     allow_float_reorder: bool = False
 
     def __post_init__(self) -> None:
@@ -35,6 +41,27 @@ class ParallelConfig:
             raise ValueError("workers must be positive")
         if self.morsel_pages <= 0:
             raise ValueError("morsel_pages must be positive")
+        if self.min_rows <= 0:
+            raise ValueError("min_rows must be positive")
+
+
+@dataclass
+class PhaseStats:
+    """Wall time and fan-out of one phase of a scheduled execution.
+
+    ``workers == 1`` means the phase's operators ran their serial
+    generated functions (below thresholds, or serial by design like a
+    final LIMIT); ``tasks`` counts the units of work the phase
+    dispatched (morsels, partition pairs, row chunks).
+    """
+
+    name: str
+    seconds: float = 0.0
+    workers: int = 1
+    tasks: int = 0
+
+    def describe(self) -> str:
+        return f"{self.name} {self.seconds * 1000:.1f} ms/{self.workers}w"
 
 
 @dataclass
@@ -43,11 +70,12 @@ class ExecutionStats:
 
     Surfaced through ``HiqueEngine.last_exec_stats`` and the shell's
     timing line, so operators can see whether a statement went
-    parallel and how the scan was divided.
+    parallel, how each phase (stage → join → aggregate → final) was
+    divided, and why any part stayed serial.
     """
 
     parallel: bool = False
-    #: Workers that actually ran (≤ configured when morsels are few).
+    #: Workers that actually ran (≤ configured when tasks are few).
     workers: int = 1
     morsels: int = 0
     pages: int = 0
@@ -55,11 +83,21 @@ class ExecutionStats:
     elapsed_seconds: float = 0.0
     #: Why execution stayed serial ("" when it went parallel).
     reason: str = ""
+    #: Per-phase timing/fan-out breakdown, in stage → join →
+    #: aggregate → final order (empty when the scheduler never ran).
+    phases: list[PhaseStats] = field(default_factory=list)
+    #: Phase-level serial decisions, kept even when the query as a
+    #: whole went parallel (e.g. a float-gated aggregation).
+    notes: list[str] = field(default_factory=list)
 
     def describe(self) -> str:
         if self.parallel:
-            return (
-                f"parallel: {self.workers} workers, {self.morsels} morsels "
-                f"over {self.pages} pages"
-            )
+            base = f"parallel: {self.workers} workers"
+            if self.morsels:
+                base += f", {self.morsels} morsels over {self.pages} pages"
+            if self.phases:
+                base += "; " + ", ".join(
+                    phase.describe() for phase in self.phases
+                )
+            return base
         return f"serial ({self.reason})" if self.reason else "serial"

@@ -26,9 +26,13 @@ from repro.storage.table import Table
 N_THREADS = 6
 ROUNDS = 4
 
-#: Mixed point/aggregate workload; every statement is served by all six
-#: engine configurations.  Float aggregates use int arguments so results
-#: are exact and comparable with ``==`` across any execution order.
+#: Mixed point/aggregate/join workload; every statement is served by
+#: all six engine configurations.  Float aggregates use int arguments
+#: so results are exact and comparable with ``==`` across any execution
+#: order; join and ORDER BY keys include DOUBLE columns, which stay
+#: byte-identical under parallelism because staging, joins and sorts
+#: compare floats without reassociating additions (the workload runs
+#: with the default ``allow_float_reorder=False``).
 WORKLOAD = [
     ("SELECT id, balance FROM accounts WHERE id = ?", lambda rng: (rng.randrange(512),)),
     ("SELECT id, region FROM accounts WHERE id = ?", lambda rng: (rng.randrange(512),)),
@@ -44,6 +48,30 @@ WORKLOAD = [
         lambda rng: (rng.randrange(2),),
     ),
     ("SELECT sum(id) AS s, count(*) AS n FROM accounts", lambda rng: None),
+    # Join + ORDER BY: INT join key, fully determined sort keys.
+    (
+        "SELECT accounts.id AS id, branches.name AS bname "
+        "FROM accounts, branches "
+        "WHERE accounts.region = branches.region AND accounts.flag = ? "
+        "ORDER BY id, bname",
+        lambda rng: (rng.randrange(2),),
+    ),
+    # Join on a DOUBLE key, ORDER BY a DOUBLE key descending.
+    (
+        "SELECT accounts.id AS id, accounts.balance AS bal, "
+        "tiers.tier AS tier FROM accounts, tiers "
+        "WHERE accounts.scale = tiers.scale "
+        "ORDER BY bal DESC, id, tier",
+        lambda rng: None,
+    ),
+    # Join feeding grouped aggregation and a final sort.
+    (
+        "SELECT branches.name AS bname, count(*) AS n, "
+        "sum(accounts.flag) AS s FROM accounts, branches "
+        "WHERE accounts.region = branches.region "
+        "GROUP BY branches.name ORDER BY n DESC, bname",
+        lambda rng: None,
+    ),
 ]
 
 
@@ -58,6 +86,7 @@ def _build_db(**kwargs) -> Database:
             Column("region", INT),
             Column("flag", INT),
             Column("tag", char(8)),
+            Column("scale", DOUBLE),
         ],
     )
     db.load_rows(
@@ -69,9 +98,23 @@ def _build_db(**kwargs) -> Database:
                 i % 8,
                 i % 2,
                 f"t{i % 11}",
+                float(i % 4) / 2,  # exact binary fractions: DOUBLE keys
             )
             for i in range(512)
         ],
+    )
+    db.create_table(
+        "branches",
+        [Column("region", INT), Column("name", char(8))],
+    )
+    db.load_rows(
+        "branches", [(j % 8, f"b{j:02d}") for j in range(24)]
+    )
+    db.create_table(
+        "tiers", [Column("scale", DOUBLE), Column("tier", INT)]
+    )
+    db.load_rows(
+        "tiers", [(float(j % 4) / 2, j) for j in range(8)]
     )
     db.analyze()
     return db
@@ -80,7 +123,7 @@ def _build_db(**kwargs) -> Database:
 @pytest.fixture(scope="module")
 def stress_db() -> Database:
     db = _build_db(max_workers=N_THREADS, workers=4)
-    db.set_parallel(min_pages=2, morsel_pages=2)
+    db.set_parallel(min_pages=2, morsel_pages=2, min_rows=64)
     yield db
     db.close()
 
@@ -165,7 +208,7 @@ def test_tiny_buffer_pool_under_concurrency(expected):
     ``BufferPoolError`` and fail the run.
     """
     db = _build_db(buffer_capacity=2, workers=4)
-    db.set_parallel(min_pages=2, morsel_pages=2)
+    db.set_parallel(min_pages=2, morsel_pages=2, min_rows=64)
     try:
 
         def session(thread_id: int):
@@ -249,3 +292,26 @@ def test_parallel_config_is_visible_in_stats(stress_db):
         # ``workers`` reports threads actually used, capped by morsels.
         assert 1 <= stats.workers <= stress_db.parallel_config.workers
         assert stats.morsels >= 2
+
+
+def test_join_workload_actually_parallelizes(stress_db, expected):
+    """The join + ORDER BY statements exercise the join phase for both
+    code-generating engines, with rows byte-identical to serial."""
+    join_indexes = [
+        index for index, (sql, _) in enumerate(WORKLOAD) if "branches" in sql or "tiers" in sql
+    ]
+    assert join_indexes
+    for kind in ("hique", "hique-o0"):
+        saw_parallel_join = False
+        for index in join_indexes:
+            sql, make_params = WORKLOAD[index]
+            params = make_params(random.Random(index))
+            rows = stress_db.execute(sql, engine=kind, params=params)
+            assert rows == expected[(kind, index)], (kind, sql)
+            stats = stress_db.last_exec_stats(kind)
+            if stats is not None and stats.parallel and any(
+                phase.name == "join" and phase.workers > 1
+                for phase in stats.phases
+            ):
+                saw_parallel_join = True
+        assert saw_parallel_join, kind
