@@ -247,11 +247,19 @@ def test_report_written(parallel_report):
     assert payload["inter_query_speedup"] > 0
 
 
+_FEW_CPUS = pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel speedup gates are calibrated for >= 4 CPUs",
+)
+
+
+@_FEW_CPUS
 def test_concurrent_reads_beat_serialized_baseline(parallel_report):
     """Acceptance: ≥1.5× concurrent read throughput with 4 workers."""
     assert parallel_report["inter_query_speedup"] >= 1.5, parallel_report
 
 
+@_FEW_CPUS
 def test_morsel_scan_overlaps_io(parallel_report):
     """Intra-query morsels must at least not regress a cold scan."""
     assert parallel_report["intra_query_speedup"] >= 1.0, parallel_report

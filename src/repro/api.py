@@ -25,7 +25,12 @@ from repro.engines.vectorized import VectorizedEngine
 from repro.engines.volcano import VolcanoEngine
 from repro.errors import ReproError
 from repro.parallel.executor import ParallelExecutor
-from repro.parallel.stats import ExecutionStats, ParallelConfig
+from repro.parallel.stats import (
+    EXECUTOR_KINDS,
+    ExecutionStats,
+    ParallelConfig,
+    default_executor,
+)
 from repro.plan.optimizer import PlannerConfig
 from repro.service import PreparedStatement, QueryService
 from repro.storage.buffer import BufferManager
@@ -61,11 +66,16 @@ class Database:
         catalog: Catalog | None = None,
         workers: int = 4,
         parallel: bool = True,
+        executor: str | None = None,
     ):
         """``max_workers`` sizes the *session* pool (concurrent queries);
         ``workers`` sizes the *morsel* pool inside one query's scan, and
         ``parallel=False`` pins every execution to the serial entry
-        point."""
+        point.  ``executor`` picks the intra-query task backend —
+        ``"thread"`` (in-process pool, best for latency-bound scans) or
+        ``"process"`` (process pool re-importing generated modules, best
+        for CPU-bound in-memory phases); ``None`` defers to the
+        ``REPRO_EXECUTOR`` environment variable, then ``"thread"``."""
         if catalog is not None:
             self.buffer = catalog.buffer
             self.catalog = catalog
@@ -77,9 +87,14 @@ class Database:
         )
         self.cache_capacity = cache_capacity
         self.max_workers = max_workers
-        self.parallel_config = ParallelConfig(
-            workers=workers, enabled=parallel
-        )
+        try:
+            if executor is None:
+                executor = default_executor()
+            self.parallel_config = ParallelConfig(
+                workers=workers, enabled=parallel, executor=executor
+            )
+        except ValueError as exc:
+            raise ReproError(str(exc)) from None
         self._engines: dict[str, Any] = {}
         self._engines_lock = threading.Lock()
         self._service: QueryService | None = None
@@ -160,14 +175,23 @@ class Database:
         min_pages: int | None = None,
         min_rows: int | None = None,
         allow_float_reorder: bool | None = None,
+        executor: str | None = None,
+        task_timeout: float | None = None,
     ) -> ParallelConfig:
         """Reconfigure morsel-driven parallelism at run time.
 
         Applies to engines built afterwards *and* retunes the already
         built code-generating engines: their morsel pools are retired
         and rebuilt lazily, while in-flight executions drain on the old
-        pool with the configuration they started with.
+        pool with the configuration they started with.  Switching
+        ``executor`` retires the old backend's pools too, so a database
+        can hop between the thread and process backends mid-session.
         """
+        if executor is not None and executor not in EXECUTOR_KINDS:
+            raise ReproError(
+                f"unknown executor {executor!r}; "
+                f"choose from {EXECUTOR_KINDS}"
+            )
         current = self.parallel_config
         self.parallel_config = ParallelConfig(
             workers=workers if workers is not None else current.workers,
@@ -177,6 +201,14 @@ class Database:
                 else current.morsel_pages
             ),
             enabled=enabled if enabled is not None else current.enabled,
+            executor=(
+                executor if executor is not None else current.executor
+            ),
+            task_timeout=(
+                task_timeout
+                if task_timeout is not None
+                else current.task_timeout
+            ),
             min_pages=(
                 min_pages if min_pages is not None else current.min_pages
             ),

@@ -33,6 +33,7 @@ from repro.bench.systems import FIGURE8_SYSTEMS
 from repro.bench.tpch import QUERIES, generate_tpch
 from repro.core.emitter import OPT_O0, OPT_O2
 from repro.core.engine import HiqueEngine
+from repro.parallel.stats import ParallelConfig
 from repro.engines.hardcoded import (
     hybrid_agg_hardcoded,
     hybrid_join_hardcoded,
@@ -43,6 +44,17 @@ from repro.engines.volcano import VolcanoEngine
 from repro.memsim.probe import Probe, ProfileReport, snapshot
 from repro.plan.optimizer import PlannerConfig
 from repro.storage.catalog import Catalog
+
+
+def _serial_hique(catalog) -> HiqueEngine:
+    """A HIQUE engine pinned to serial execution.
+
+    The figure/table drivers reproduce the paper's single-threaded
+    measurements; pinning ``enabled=False`` keeps them deterministic
+    even when REPRO_DEFAULT_PARALLEL / REPRO_EXECUTOR flip the rest of
+    the suite onto a parallel backend.
+    """
+    return HiqueEngine(catalog, parallel=ParallelConfig(enabled=False))
 
 
 # -- scales ------------------------------------------------------------------------
@@ -253,7 +265,7 @@ def _join_query_versions(
                 ),
             )
         )
-    hique = HiqueEngine(catalog)
+    hique = _serial_hique(catalog)
     prepared = hique.prepare(sql, planner_config=config, use_cache=False)
     prepared_traced = hique.prepare(
         sql, traced=True, planner_config=config, use_cache=False
@@ -374,7 +386,7 @@ def _agg_query_versions(
                 ),
             )
         )
-    hique = HiqueEngine(catalog)
+    hique = _serial_hique(catalog)
     prepared = hique.prepare(_AGG_SQL, planner_config=config, use_cache=False)
     prepared_traced = hique.prepare(
         _AGG_SQL, traced=True, planner_config=config, use_cache=False
@@ -510,7 +522,7 @@ def table2(scale: str | Scale = "small") -> ExperimentResult:
     def hique_times() -> list[float]:
         times = []
         for catalog, sql, config, _kind, _tables in workloads:
-            engine = HiqueEngine(catalog)
+            engine = _serial_hique(catalog)
             for level in (OPT_O0, OPT_O2):
                 prepared = engine.prepare(
                     sql, opt_level=level, planner_config=config,
@@ -584,7 +596,7 @@ def fig7a(scale: str | Scale = "small") -> ExperimentResult:
                     plan = engine.plan(_JOIN_SQL, planner_config=config)
                     row_time = _timed(lambda: engine.execute_plan(plan))
                 else:
-                    engine = HiqueEngine(catalog)
+                    engine = _serial_hique(catalog)
                     prepared = engine.prepare(
                         _JOIN_SQL, planner_config=config, use_cache=False
                     )
@@ -631,7 +643,7 @@ def fig7b(scale: str | Scale = "small") -> ExperimentResult:
         plan = engine.plan(sql, planner_config=config)
         measurements.append(_timed(lambda: engine.execute_plan(plan)))
         # HIQUE binary merge joins (teams disabled).
-        hique = HiqueEngine(catalog)
+        hique = _serial_hique(catalog)
         prepared = hique.prepare(
             sql, planner_config=config, use_cache=False
         )
@@ -681,7 +693,7 @@ def fig7c(scale: str | Scale = "small") -> ExperimentResult:
                         _timed(lambda: engine.execute_plan(plan))
                     )
                 else:
-                    hique = HiqueEngine(catalog)
+                    hique = _serial_hique(catalog)
                     prepared = hique.prepare(
                         _JOIN_SQL, planner_config=config, use_cache=False
                     )
@@ -722,7 +734,7 @@ def fig7d(scale: str | Scale = "small") -> ExperimentResult:
                         _timed(lambda: engine.execute_plan(plan))
                     )
                 else:
-                    hique = HiqueEngine(catalog)
+                    hique = _serial_hique(catalog)
                     prepared = hique.prepare(
                         _AGG_SQL, planner_config=config, use_cache=False
                     )

@@ -17,6 +17,11 @@ executed through ``.prepare`` / ``.exec``.  Meta-commands:
   given parameter values (int, float or 'string')
 * ``.cache [clear]`` — show (or reset) plan-cache and service stats
 * ``.workers <n>`` — set the parallel worker count
+* ``.executor [thread|process]`` — pick the intra-query task backend:
+  ``thread`` overlaps latency-bound page waits in-process, ``process``
+  ships CPU-bound O2 tasks to a pool of worker processes that
+  re-import the generated module (O0 plans fall back to threads); with
+  no argument, show the current backend
 * ``.parallel [on|off]`` — toggle morsel-driven parallel execution; with
   no argument, show the configuration and the last execution's
   per-phase (stage/join/aggregate/final) breakdown
@@ -132,13 +137,25 @@ class Shell:
                     f"morsel workers set to {config.workers} "
                     f"(parallel {'on' if config.enabled else 'off'})"
                 )
+        elif command == ".executor":
+            if argument in ("thread", "process"):
+                config = self.db.set_parallel(executor=argument)
+                self.write(f"task backend set to {config.executor}")
+            elif argument == "":
+                self.write(
+                    f"task backend: {self.db.parallel_config.executor} "
+                    f"(.executor thread|process to switch)"
+                )
+            else:
+                self.write("usage: .executor [thread|process]")
         elif command == ".parallel":
             if argument in ("on", "off"):
                 config = self.db.set_parallel(enabled=argument == "on")
                 self.write(
                     f"parallel execution {'on' if config.enabled else 'off'} "
                     f"({config.workers} workers, "
-                    f"{config.morsel_pages} pages/morsel)"
+                    f"{config.morsel_pages} pages/morsel, "
+                    f"{config.executor} backend)"
                 )
             elif argument == "":
                 config = self.db.parallel_config
@@ -146,7 +163,8 @@ class Shell:
                     f"parallel execution "
                     f"{'on' if config.enabled else 'off'} "
                     f"({config.workers} workers, {config.morsel_pages} "
-                    f"pages/morsel, min_pages {config.min_pages}, "
+                    f"pages/morsel, {config.executor} backend, "
+                    f"min_pages {config.min_pages}, "
                     f"min_rows {config.min_rows})"
                 )
                 stats = self.db.last_exec_stats(self.engine_kind)
@@ -236,7 +254,7 @@ class Shell:
         parallel_runs, serial_runs = self.db.parallel_counters()
         self.write(
             f"engine executions: {parallel_runs} parallel, "
-            f"{serial_runs} serial"
+            f"{serial_runs} serial ({stats.executor} backend)"
         )
         for entry in reversed(service.cache.entries()):
             kind, key, _signature = entry.key

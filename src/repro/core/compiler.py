@@ -39,6 +39,22 @@ class CompiledQuery:
     compile_seconds: float
     source_bytes: int
     compiled_bytes: int
+    #: Distinct module name the source was executed under.  Together
+    #: with ``source_path`` this is the *module spec* process-pool
+    #: workers use to re-import the generated code in their own
+    #: interpreter (the analogue of a second ``dlopen`` of the shared
+    #: library the paper's compiler produced).
+    module_name: str = ""
+
+    def module_spec(self) -> tuple[str, str]:
+        """``(module_name, source_path)`` for out-of-process reloads.
+
+        The path stays valid for the lifetime of the owning engine: the
+        compiler's work directory is only removed by ``close()``/atexit,
+        so a worker process can re-read and execute the exact source
+        this process compiled.
+        """
+        return self.module_name, self.source_path
 
 
 class QueryCompiler:
@@ -98,7 +114,11 @@ class QueryCompiler:
                 f"generated code does not compile: {exc}\n"
                 f"--- generated source ---\n{generated.source}"
             ) from exc
-        namespace: dict[str, Any] = {"__name__": f"hique_generated_{serial}"}
+        module_name = f"hique_generated_{serial}"
+        namespace: dict[str, Any] = {
+            "__name__": module_name,
+            "__file__": source_path,
+        }
         exec(code, namespace)  # noqa: S102 - this *is* the dynamic linker
         elapsed = time.perf_counter() - started
 
@@ -119,6 +139,7 @@ class QueryCompiler:
             compile_seconds=elapsed,
             source_bytes=generated.source_size,
             compiled_bytes=len(marshal.dumps(code)),
+            module_name=module_name,
         )
 
 

@@ -21,10 +21,14 @@ from repro.core.compiler import CompiledQuery, QueryCompiler
 from repro.core.emitter import OPT_O2
 from repro.core.executor import run_compiled
 from repro.core.generator import CodeGenerator, GeneratedQuery
-from repro.errors import ExecutionError, MapDirectoryOverflow
+from repro.errors import ExecutionError, MapDirectoryOverflow, ReproError
 from repro.memsim.probe import NULL_PROBE, NullProbe
 from repro.parallel.executor import ParallelExecutor
-from repro.parallel.stats import ExecutionStats, ParallelConfig
+from repro.parallel.stats import (
+    ExecutionStats,
+    ParallelConfig,
+    default_executor,
+)
 from repro.plan.descriptors import AGG_HYBRID, PhysicalPlan
 from repro.plan.optimizer import Optimizer, PlannerConfig
 from repro.sql import ast
@@ -100,13 +104,24 @@ class HiqueEngine:
         #: REPRO_DEFAULT_PARALLEL makes engines constructed without an
         #: explicit config default to the parallel path (CI uses this
         #: to exercise it across the whole test suite), with
-        #: REPRO_DEFAULT_WORKERS sizing the pool.
+        #: REPRO_DEFAULT_WORKERS sizing the pool and REPRO_EXECUTOR
+        #: picking the task backend ("thread" or "process") — the CI
+        #: matrix runs one leg with REPRO_EXECUTOR=process so the whole
+        #: suite exercises the process-pool backend.
         if parallel is None and os.environ.get(
             "REPRO_DEFAULT_PARALLEL", ""
         ) not in ("", "0"):
-            parallel = ParallelConfig(
-                workers=int(os.environ.get("REPRO_DEFAULT_WORKERS", "4"))
-            )
+            try:
+                parallel = ParallelConfig(
+                    workers=int(
+                        os.environ.get("REPRO_DEFAULT_WORKERS", "4")
+                    ),
+                    executor=default_executor(),
+                )
+            except ValueError as exc:
+                # A bad env knob should surface as the library's error
+                # type, not a bare ValueError from config validation.
+                raise ReproError(str(exc)) from None
         self.parallel = (
             ParallelExecutor(parallel) if parallel is not None else None
         )

@@ -98,7 +98,17 @@ class CodeGenerator:
 
         self._emit_composer(body, plan, function_names)
         header = self._header(plan, name, gen, uses_map_aggregate)
-        source = header + body.source()
+        # Module metadata trailer: process-pool workers re-import this
+        # file from the compiler's work directory and check these before
+        # running a task, so a mismatched or stale module fails loudly
+        # instead of computing wrong rows.
+        trailer = (
+            "\n"
+            f"HIQUE_QUERY = {name!r}\n"
+            f"HIQUE_OPT_LEVEL = {opt_level!r}\n"
+            f"HIQUE_TRACED = {traced!r}\n"
+        )
+        source = header + body.source() + trailer
         return GeneratedQuery(
             name=name,
             source=source,

@@ -272,11 +272,25 @@ def _emit_nested_join(
             _emit_join_trace_init(em, op)
         with em.block("for lrow in left:"):
             with em.block("for rrow in right:"):
-                em.emit("append(lrow + rrow)")
                 if gen.traced:
                     em.emit(f"_probe.instr({costs.LOOP_ITER_INSTRUCTIONS})")
-                    _emit_output_trace(em, orb)
-        _emit_residual_filter(em, op)
+                if op.residuals:
+                    # A keyed nested-loops join: the equi predicate (and
+                    # any extra conjuncts) rides as residuals, evaluated
+                    # inside the loop so non-matching pairs are never
+                    # materialised.
+                    condition = conjunction_source(
+                        op.residuals, op.output_layout, "row"
+                    )
+                    em.emit("row = lrow + rrow")
+                    with em.block(f"if {condition}:"):
+                        em.emit("append(row)")
+                        if gen.traced:
+                            _emit_output_trace(em, orb)
+                else:
+                    em.emit("append(lrow + rrow)")
+                    if gen.traced:
+                        _emit_output_trace(em, orb)
         em.emit("return out")
     em.emit()
 

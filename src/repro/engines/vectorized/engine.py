@@ -231,6 +231,19 @@ class VectorizedEngine:
         return _Batch(operator.output_layout, current.arrays)
 
     def _run_aggregate(self, batch: _Batch, operator: Aggregate) -> _Batch:
+        if batch.length == 0 and not operator.group_positions:
+            # A global aggregate over no input yields exactly one row:
+            # count/sum are zero, min/max/avg are NULL.  The vectorised
+            # reductions below would instead emit their dtype sentinels
+            # (e.g. int64 min for an empty max), so this row is built
+            # eagerly with the row engines' semantics.
+            return _Batch(
+                operator.output_layout,
+                [
+                    np.array([_empty_global_value(output.expr)], dtype=object)
+                    for output in operator.outputs
+                ],
+            )
         group_ids, unique_index, num_groups = _group_ids(
             batch, operator.group_positions
         )
@@ -283,6 +296,11 @@ class VectorizedEngine:
         return _Batch(operator.output_layout, arrays)
 
     def _run_sort(self, batch: _Batch, operator: Sort) -> _Batch:
+        if batch.length <= 1:
+            # Nothing to order — also keeps object-dtype singleton rows
+            # (empty-input global aggregates, which may hold None) away
+            # from numpy key negation.
+            return batch
         order = np.arange(batch.length)
         for position, ascending in reversed(operator.keys):
             keys = batch.arrays[position][order]
@@ -353,6 +371,27 @@ def _group_ids(
     return group_ids, unique_index, len(uniques)
 
 
+def _empty_global_value(expr):
+    """One output value of a global aggregate over an empty input."""
+    if isinstance(expr, BoundAggregate):
+        if expr.func == "count":
+            return 0
+        if expr.func == "sum":
+            return 0.0 if expr.dtype.code == "double" else 0
+        return None  # min/max/avg of nothing is NULL
+    if isinstance(expr, BoundArithmetic):
+        left = _empty_global_value(expr.left)
+        right = _empty_global_value(expr.right)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        return left / right
+    return expr.value  # BoundLiteral (no group columns can appear)
+
+
 def _aggregate_array(
     node: BoundAggregate, batch: _Batch, group_ids: np.ndarray, num_groups: int
 ) -> np.ndarray:
@@ -420,19 +459,25 @@ def _reduce_at(ufunc, values, group_ids, num_groups):
 
 
 def _descending_argsort(keys: np.ndarray) -> np.ndarray:
-    if keys.dtype.kind in "iuf":
+    if keys.dtype.kind in "if":
         return np.argsort(-keys, kind="stable")
-    # Byte strings: stable ascending sort, reversed per equal-run to
-    # preserve stability.
-    ascending = np.argsort(keys, kind="stable")
-    return ascending[::-1]
+    # Non-negatable dtypes (byte strings, unsigned): sort descending by
+    # negated *rank* so equal keys keep their current relative order —
+    # reversing an ascending argsort would also reverse ties and break
+    # the multi-key sort's stability chain.
+    _, inverse = np.unique(keys, return_inverse=True)
+    return np.argsort(-inverse, kind="stable")
 
 
 def _to_rows(batch: _Batch) -> list[tuple]:
     """Materialise a batch into Python rows matching the row engines."""
     columns = []
     for slot, array in zip(batch.layout.slots, batch.arrays):
-        if array.dtype.kind == "S":
+        if array.dtype.kind == "O":
+            # Object columns already hold finished Python values (the
+            # empty-input global-aggregate row, which may contain None).
+            columns.append(array.tolist())
+        elif array.dtype.kind == "S":
             columns.append(
                 [v.rstrip(b" ").decode("utf-8") for v in array.tolist()]
             )

@@ -35,22 +35,37 @@ from repro.parallel.morsel import (
     Morsel,
     MorselDispatcher,
     TaskDispatcher,
+    coarse_morsel_pages,
     morsels_for,
 )
-from repro.parallel.stats import ExecutionStats, ParallelConfig, PhaseStats
+from repro.parallel.stats import (
+    EXECUTOR_KINDS,
+    EXECUTOR_PROCESS,
+    EXECUTOR_THREAD,
+    ExecutionStats,
+    ParallelConfig,
+    PhaseStats,
+)
 
 __all__ = [
     "DEFAULT_MORSEL_PAGES",
     "Desc",
+    "EXECUTOR_KINDS",
+    "EXECUTOR_PROCESS",
+    "EXECUTOR_THREAD",
     "ExecutionStats",
     "Morsel",
     "MorselDispatcher",
     "ParallelConfig",
     "ParallelExecutor",
     "PhaseStats",
+    "ProcessBackend",
     "ReadWriteLatch",
     "TaskDispatcher",
+    "TaskNotPicklable",
+    "ThreadBackend",
     "chunk_bounds",
+    "coarse_morsel_pages",
     "kway_merge",
     "merge_aggregate_partials",
     "merge_ordered_runs",
@@ -60,10 +75,15 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # ``executor`` pulls in the core/plan stack; importing it here
-    # eagerly would cycle through storage → parallel → core → storage.
+    # ``executor``/``backend`` pull in the core/errors stack; importing
+    # them here eagerly would cycle through storage → parallel → core →
+    # storage.
     if name in ("ParallelExecutor", "merge_aggregate_partials"):
         from repro.parallel import executor
 
         return getattr(executor, name)
+    if name in ("ProcessBackend", "TaskNotPicklable", "ThreadBackend"):
+        from repro.parallel import backend
+
+        return getattr(backend, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,363 @@
+"""Task backends: where a scheduled query's parallel tasks run.
+
+The phase scheduler (:mod:`repro.parallel.executor`) describes each
+phase's units of work as pure-data task payloads —
+:class:`~repro.parallel.proc.CallTask` for join pairs, aggregate row
+chunks and sort runs, :class:`~repro.parallel.proc.ScanTask` for
+page-range morsels — and hands the batch to a backend:
+
+* :class:`ThreadBackend` — today's behavior: an in-process
+  ``ThreadPoolExecutor`` whose workers claim task indices from a
+  :class:`~repro.parallel.morsel.TaskDispatcher` and run the generated
+  functions directly against the live context (real tables, zero
+  copying).  Under CPython's GIL this wins whenever tasks block on
+  I/O (latency-bound scans) and loses nothing on tiny inputs.
+* :class:`ProcessBackend` — a lazily created
+  ``ProcessPoolExecutor``: each task is pickled together with the
+  generated module's spec, re-imported and executed by a worker
+  process (:func:`repro.parallel.proc.run_task`), and its result is
+  pickled back.  CPU-bound in-memory phases scale with cores this way;
+  the price is serialization, which is why the scheduler coarsens
+  process morsels and why tiny batches should stay on threads.
+
+Both backends return results **in task order**, which is what keeps
+every downstream merge order-preserving and parallel rows byte-
+identical to serial rows.  The first task exception is re-raised after
+the batch drains; a dead worker process or an expired
+``task_timeout`` surfaces as a clean :class:`~repro.errors.ExecutionError`
+instead of a hang, and payloads that refuse to pickle raise
+:class:`TaskNotPicklable` so the scheduler can retry the batch on the
+thread backend.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
+
+from repro.errors import ExecutionError
+from repro.parallel import proc
+from repro.parallel.morsel import TaskDispatcher
+
+#: Environment override for the multiprocessing start method.  The
+#: default prefers ``fork`` (cheap workers that inherit the imported
+#: interpreter) and falls back to ``spawn`` where fork is unavailable.
+START_METHOD_ENV = "REPRO_PROC_START"
+
+
+class TaskNotPicklable(Exception):
+    """A task payload (or its result) cannot cross a process boundary.
+
+    The scheduler catches this and re-runs the batch on the thread
+    backend, recording a stats note — correctness never depends on a
+    payload being picklable.
+    """
+
+
+class BackendRetired(TaskNotPicklable):
+    """This process backend was closed by a reconfigure mid-run.
+
+    Raised instead of resurrecting a worker pool nothing owns anymore;
+    as a :class:`TaskNotPicklable` subclass it makes the in-flight run
+    finish its remaining batches on the thread backend, so the query
+    still completes with the configuration it started with.
+    """
+
+
+class ThreadBackend:
+    """In-process worker pool running generated code over shared state."""
+
+    name = "thread"
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def submit(self, fn, count: int) -> list:
+        """Create the pool if needed and submit ``count`` callables.
+
+        Pool creation and submission share one critical section with
+        :meth:`close`, so a task is never submitted to a pool that has
+        been retired.
+        """
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-morsel",
+                )
+            return [self._pool.submit(fn) for _ in range(count)]
+
+    @staticmethod
+    def drain_futures(futures: list, collect=None) -> None:
+        """Await every worker future, then re-raise the first error.
+
+        Draining all futures before raising keeps no worker running
+        against state the caller is about to unwind; ``collect``
+        receives each successful result in submission order.
+        """
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                result = future.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+            else:
+                if collect is not None:
+                    collect(result)
+        if error is not None:
+            raise error
+
+    def run_thunks(self, thunks: list, workers: int) -> tuple[list, int]:
+        """Run zero-arg callables on the pool; results in task order.
+
+        Workers claim indices from a :class:`TaskDispatcher`, so a slow
+        task never stalls the queue behind it.
+        """
+        dispatcher = TaskDispatcher(len(thunks))
+        out: list = [None] * len(thunks)
+        workers = min(workers, len(thunks))
+
+        def drain() -> None:
+            while True:
+                index = dispatcher.next()
+                if index is None:
+                    return
+                out[index] = thunks[index]()
+
+        self.drain_futures(self.submit(drain, workers))
+        return out, workers
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class ProcessBackend:
+    """Ships task payloads to a pool of worker processes.
+
+    Workers import the generated module from the compiler's work
+    directory by its module spec, so the exact code the parent compiled
+    runs against pure-data payloads; results return in task order.
+    The pool is created lazily on the first shipped batch (most queries
+    never pay for worker processes) and replaced transparently after a
+    worker death.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int, task_timeout: float | None = None):
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- pool lifecycle -----------------------------------------------------------
+    @staticmethod
+    def _start_method() -> str:
+        import multiprocessing
+
+        configured = os.environ.get(START_METHOD_ENV, "")
+        methods = multiprocessing.get_all_start_methods()
+        if configured:
+            if configured not in methods:
+                raise ExecutionError(
+                    f"unknown {START_METHOD_ENV}={configured!r}; "
+                    f"available: {methods}"
+                )
+            return configured
+        # forkserver by default: pools are created lazily, i.e. while
+        # service threads are already running queries, and forking a
+        # multi-threaded parent can deadlock a child on an inherited
+        # held lock (the reason CPython 3.14 switched its Linux default
+        # too).  Workers instead fork from the single-threaded server;
+        # preloading the worker module there keeps their startup cheap.
+        if "forkserver" in methods:
+            return "forkserver"
+        return "fork" if "fork" in methods else "spawn"
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise BackendRetired(
+                    "process backend retired by a reconfigure"
+                )
+            if self._pool is None:
+                import multiprocessing
+
+                method = self._start_method()
+                context = multiprocessing.get_context(method)
+                if method == "forkserver":
+                    # One warm import of the worker module in the (per-
+                    # interpreter) forkserver; every worker forks from
+                    # it already loaded.  A no-op once the server runs.
+                    context.set_forkserver_preload(
+                        ["repro.parallel.proc"]
+                    )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            return self._pool
+
+    def _retire_pool(self, kill: bool = False) -> None:
+        """Drop the current pool (it broke, or a task timed out).
+
+        ``kill`` additionally terminates worker processes outright —
+        the only way to stop a wedged task, since a timed-out future
+        cannot be cancelled once running.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Retire this backend: drain queued tasks, then shut down.
+
+        No ``cancel_futures`` here — an in-flight run still collecting a
+        batch must see it complete (the documented reconfigure
+        contract); only :meth:`_retire_pool`'s broken/timed-out paths
+        cancel.  Later batches of such a run hit :class:`BackendRetired`
+        and finish on the thread backend.
+        """
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- execution ----------------------------------------------------------------
+    def run_batch(
+        self,
+        module_spec: tuple[str, str],
+        params: tuple,
+        tasks: list,
+        page_reader=None,
+    ) -> tuple[list, int, int]:
+        """Run one phase's tasks out of process; results in task order.
+
+        Returns ``(results, workers, shipped_bytes)`` — the last is the
+        approximate payload volume serialized for this batch, which the
+        scheduler surfaces as a stats note.
+
+        ``page_reader(binding, page_lo, page_hi)`` materializes a scan
+        task's page bytes at submission time (reading through the live
+        buffer pool in the parent, so workers never touch storage).
+        """
+        module_name, source_path = module_spec
+        pool = self._ensure_pool()
+        futures: list = [None] * len(tasks)
+        shipped = 0
+        submitted = 0
+        # Submit-as-you-collect: only a bounded window of payloads is
+        # materialized (page bytes read, pickled) at any moment, so a
+        # scan of a large table never holds the whole table's bytes in
+        # the parent on top of the buffer pool.
+        window = max(self.workers * 2, 2)
+
+        def submit_through(limit: int) -> None:
+            nonlocal shipped, submitted
+            while submitted < min(limit, len(tasks)):
+                task = tasks[submitted]
+                if isinstance(task, proc.ScanTask) and not task.pages:
+                    task = proc.ScanTask(
+                        func=task.func,
+                        binding=task.binding,
+                        page_lo=task.page_lo,
+                        page_hi=task.page_hi,
+                        post_func=task.post_func,
+                        pages=page_reader(
+                            task.binding, task.page_lo, task.page_hi
+                        ),
+                    )
+                shipped += proc.shipped_bytes(task)
+                futures[submitted] = pool.submit(
+                    proc.run_task, module_name, source_path, params, task
+                )
+                submitted += 1
+
+        submit_through(window)
+        results: list = [None] * len(tasks)
+        error: BaseException | None = None
+        for index in range(len(tasks)):
+            future = futures[index]
+            try:
+                results[index] = future.result(timeout=self.task_timeout)
+            except FutureTimeout:
+                self._retire_pool(kill=True)
+                raise ExecutionError(
+                    f"parallel task exceeded task_timeout="
+                    f"{self.task_timeout}s on the process backend; "
+                    f"worker pool terminated"
+                ) from None
+            except BrokenProcessPool:
+                self._retire_pool()
+                raise ExecutionError(
+                    "a parallel worker process died mid-task (process "
+                    "pool broken); the pool will be recreated on the "
+                    "next parallel execution"
+                ) from None
+            except BaseException as exc:  # noqa: BLE001 - sorted below
+                if _is_pickling_failure(exc):
+                    # The queue feeder could not serialize this payload;
+                    # the batch must re-run in-process.
+                    for pending in futures[index + 1:submitted]:
+                        pending.cancel()
+                    raise TaskNotPicklable(str(exc)) from exc
+                if error is None:
+                    error = exc
+            # Keep the window full even while draining past a task
+            # error, so every task still runs before the error re-
+            # raises (matching the thread backend's drain semantics).
+            submit_through(index + 1 + window)
+        if error is not None:
+            raise error
+        return results, min(self.workers, len(tasks)), shipped
+
+
+def _is_pickling_failure(exc: BaseException) -> bool:
+    """Serialization error vs a genuine task error.
+
+    A worker's own ``TypeError`` must propagate, while a
+    ``PicklingError``/``TypeError`` raised *while serializing* the call
+    item means "retry on threads".  Serialization failures happen in
+    the queue feeder thread (``multiprocessing.queues._feed``) or, for
+    an unpicklable *result*, in the worker's send path — both leave
+    their frames in the attached remote traceback, whereas a task's own
+    exception never ran through those functions.
+    """
+    if not isinstance(
+        exc, (pickle.PicklingError, TypeError, AttributeError)
+    ):
+        return False
+    cause = exc.__cause__
+    if cause is None or type(cause).__name__ != "_RemoteTraceback":
+        # No remote frames at all: the exception was raised locally at
+        # submission time, which only serialization does.
+        return True
+    trace = str(cause)
+    return (
+        "in _feed" in trace
+        or "in _sendback_result" in trace
+        or "PicklingError" in trace
+    )
+
+
+__all__ = [
+    "ProcessBackend",
+    "START_METHOD_ENV",
+    "TaskNotPicklable",
+    "ThreadBackend",
+]

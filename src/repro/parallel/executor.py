@@ -27,21 +27,29 @@ parallel strategy exists:
   mixed-direction k-way merge; projections fuse into the scan they
   consume; LIMIT is a serial slice.
 
-Workers pull work units from shared dispatchers, so load balances
-dynamically; every merge is order-preserving, which keeps parallel
-output row-for-row identical to a serial run for every plan shape.
-Operators below the configured size thresholds — and the few without a
-parallel strategy (restaging, join teams) — simply run their serial
-generated function in plan order, so a scheduled run degrades
-gracefully instead of falling back wholesale.  :class:`ExecutionStats`
-reports the per-phase timings, worker counts and any serial decisions.
+Each phase's units of work are *pure-data task descriptions*
+(:class:`~repro.parallel.proc.CallTask`,
+:class:`~repro.parallel.proc.ScanTask`) executed by a pluggable
+:mod:`~repro.parallel.backend`: the thread backend claims tasks
+dynamically from a shared dispatcher and runs generated code against
+the live context, while the process backend pickles the same tasks to
+``ProcessPoolExecutor`` workers that re-import the generated module
+from the compiler's work directory — CPU-bound in-memory phases scale
+past the GIL that way.  Every merge is order-preserving, which keeps
+parallel output row-for-row identical to a serial run for every plan
+shape and either backend.  Operators below the configured size
+thresholds — and the few without a parallel strategy (restaging, join
+teams) — simply run their serial generated function in plan order, so
+a scheduled run degrades gracefully instead of falling back wholesale.
+:class:`ExecutionStats` reports the per-phase timings, worker counts,
+the backend that ran each phase and any serial decisions.
 """
 
 from __future__ import annotations
 
+import pickle
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.emitter import OPT_O2
@@ -49,6 +57,11 @@ from repro.core.executor import build_context, run_compiled
 from repro.core.templates.aggregate import collect_aggregates
 from repro.errors import MapDirectoryOverflow
 from repro.memsim.probe import NULL_PROBE, NullProbe
+from repro.parallel.backend import (
+    ProcessBackend,
+    TaskNotPicklable,
+    ThreadBackend,
+)
 from repro.parallel.merge import (
     chunk_bounds,
     lower_bound,
@@ -58,8 +71,15 @@ from repro.parallel.merge import (
     merge_partition_sorted_runs,
     merge_sorted_runs,
 )
-from repro.parallel.morsel import MorselDispatcher, TaskDispatcher
-from repro.parallel.stats import ExecutionStats, ParallelConfig, PhaseStats
+from repro.parallel.morsel import coarse_morsel_pages, morsels_for
+from repro.parallel.proc import CallTask, ScanTask
+from repro.parallel.stats import (
+    EXECUTOR_PROCESS,
+    EXECUTOR_THREAD,
+    ExecutionStats,
+    ParallelConfig,
+    PhaseStats,
+)
 from repro.plan.descriptors import (
     AGG_MAP,
     Aggregate,
@@ -89,6 +109,14 @@ from repro.storage.types import DOUBLE
 #: Canonical phase order for reporting.
 PHASE_ORDER = ("stage", "join", "aggregate", "final")
 
+
+def _picklable(value) -> bool:
+    try:
+        pickle.dumps(value)
+    except Exception:  # noqa: BLE001 - any failure means "keep local"
+        return False
+    return True
+
 _PHASE_OF = {
     ScanStage: "stage",
     Restage: "stage",
@@ -109,27 +137,50 @@ class _Report:
     phases: dict[str, PhaseStats] = field(default_factory=dict)
     morsels: int = 0
     pages: int = 0
+    #: Process-backend serialization accounting for this run.
+    shipped_tasks: int = 0
+    shipped_bytes: int = 0
 
     def skip(self, reason: str) -> None:
         if reason not in self.skips:
             self.skips.append(reason)
 
     def note(
-        self, phase: str, seconds: float, workers: int, tasks: int
+        self,
+        phase: str,
+        seconds: float,
+        workers: int,
+        tasks: int,
+        backend: str = EXECUTOR_THREAD,
     ) -> None:
         entry = self.phases.get(phase)
         if entry is None:
             self.phases[phase] = PhaseStats(
-                name=phase, seconds=seconds, workers=workers, tasks=tasks
+                name=phase,
+                seconds=seconds,
+                workers=workers,
+                tasks=tasks,
+                backend=backend,
             )
         else:
             entry.seconds += seconds
             entry.workers = max(entry.workers, workers)
             entry.tasks += tasks
+            if backend == EXECUTOR_PROCESS:
+                entry.backend = backend
 
     @property
     def went_parallel(self) -> bool:
         return any(phase.workers > 1 for phase in self.phases.values())
+
+    def backend_used(self) -> str:
+        """``"process"`` when any phase shipped tasks out of process."""
+        if any(
+            phase.backend == EXECUTOR_PROCESS
+            for phase in self.phases.values()
+        ):
+            return EXECUTOR_PROCESS
+        return EXECUTOR_THREAD
 
     def max_workers(self) -> int:
         return max(
@@ -154,89 +205,55 @@ class ParallelExecutor:
 
     def __init__(self, config: ParallelConfig | None = None):
         self.config = config if config is not None else ParallelConfig()
-        self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        self._thread = ThreadBackend(self.config.workers)
+        #: Process pool, created lazily on the first run that actually
+        #: ships tasks (most queries never pay for worker processes).
+        self._process: ProcessBackend | None = None
         self.parallel_runs = 0
         self.serial_runs = 0
 
     # -- lifecycle ---------------------------------------------------------------
-    def _submit(self, fn, count: int) -> list:
-        """Create the pool if needed and submit ``count`` tasks.
-
-        Pool creation and submission share one critical section with
-        :meth:`reconfigure`/:meth:`close`, so a task is never submitted
-        to a pool that has been retired.
-        """
+    def thread_backend(self) -> ThreadBackend:
         with self._lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.config.workers,
-                    thread_name_prefix="repro-morsel",
+            return self._thread
+
+    def process_backend(self) -> ProcessBackend:
+        with self._lock:
+            if self._process is None:
+                self._process = ProcessBackend(
+                    self.config.workers,
+                    task_timeout=self.config.task_timeout,
                 )
-            return [self._pool.submit(fn) for _ in range(count)]
-
-    def run_tasks(self, tasks: list, config: ParallelConfig) -> tuple[list, int]:
-        """Run zero-arg callables on the pool; results in task order.
-
-        Workers claim indices from a :class:`TaskDispatcher`, so a slow
-        task never stalls the queue behind it.  Returns ``(results,
-        actual_workers)``; the first task exception (if any) is
-        re-raised after all workers drain.
-        """
-        dispatcher = TaskDispatcher(len(tasks))
-        out: list = [None] * len(tasks)
-        workers = min(config.workers, len(tasks))
-
-        def drain() -> None:
-            while True:
-                index = dispatcher.next()
-                if index is None:
-                    return
-                out[index] = tasks[index]()
-
-        self.drain_futures(self._submit(drain, workers))
-        return out, workers
-
-    @staticmethod
-    def drain_futures(futures: list, collect=None) -> None:
-        """Await every worker future, then re-raise the first error.
-
-        Draining all futures before raising keeps no worker running
-        against state the caller is about to unwind; ``collect``
-        receives each successful result in submission order.
-        """
-        error: BaseException | None = None
-        for future in futures:
-            try:
-                result = future.result()
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if error is None:
-                    error = exc
-            else:
-                if collect is not None:
-                    collect(result)
-        if error is not None:
-            raise error
+            return self._process
 
     def reconfigure(self, config: ParallelConfig) -> None:
-        """Swap the configuration and retire the current worker pool.
+        """Swap the configuration and retire the current worker pools.
 
-        Safe against in-flight runs: they captured the old config on
-        entry and already hold futures on the old pool, which drains
-        them before shutting down; later runs lazily build a fresh pool
-        sized to the new configuration.
+        Safe against in-flight runs: they captured the old config and
+        backends on entry and already hold futures on the old pools,
+        which drain them before shutting down; later runs lazily build
+        fresh pools sized to the new configuration.
         """
         with self._lock:
-            pool, self._pool = self._pool, None
+            thread, self._thread = self._thread, ThreadBackend(
+                config.workers
+            )
+            process, self._process = self._process, None
             self.config = config
-        if pool is not None:
-            pool.shutdown(wait=True)
+        thread.close()
+        if process is not None:
+            process.close()
 
     def close(self) -> None:
         with self._lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+            thread, self._thread = self._thread, ThreadBackend(
+                self.config.workers
+            )
+            process, self._process = self._process, None
+        thread.close()
+        if process is not None:
+            process.close()
 
     # -- execution ----------------------------------------------------------------
     def run(
@@ -264,8 +281,28 @@ class ParallelExecutor:
             )
 
         report = _Report()
+        process: ProcessBackend | None = None
+        if config.executor == EXECUTOR_PROCESS:
+            if prepared.compiled.opt_level != OPT_O2:
+                # O0 generated code calls closures living in this
+                # process's context; those cannot cross a process
+                # boundary, so the whole run rides the thread backend.
+                report.skip(
+                    "O0 closure plan: process backend fell back to "
+                    "the thread backend"
+                )
+            elif not _picklable(tuple(params)):
+                # Every shipped task carries the parameter vector; a
+                # value that refuses to pickle dooms all of them, so
+                # decide once up front instead of per batch.
+                report.skip(
+                    "unpicklable parameter vector: process backend "
+                    "fell back to the thread backend"
+                )
+            else:
+                process = self.process_backend()
         rows = _ScheduledRun(
-            self, prepared, tuple(params), config, report
+            self, prepared, tuple(params), config, report, process
         ).execute()
         elapsed = time.perf_counter() - started
         if not report.went_parallel:
@@ -281,15 +318,23 @@ class ParallelExecutor:
             )
         with self._lock:
             self.parallel_runs += 1
+        notes = list(report.skips)
+        if report.shipped_tasks:
+            notes.append(
+                f"process backend shipped {report.shipped_tasks} task(s), "
+                f"~{report.shipped_bytes / 1024:.0f} KiB of payloads "
+                f"serialized"
+            )
         return rows, ExecutionStats(
             parallel=True,
+            backend=report.backend_used(),
             workers=report.max_workers(),
             morsels=report.morsels,
             pages=report.pages,
             rows=len(rows),
             elapsed_seconds=elapsed,
             phases=report.ordered_phases(),
-            notes=list(report.skips),
+            notes=notes,
         )
 
     def note_serial(
@@ -338,6 +383,7 @@ class _ScheduledRun:
         params: tuple,
         config: ParallelConfig,
         report: _Report,
+        process: ProcessBackend | None = None,
     ):
         self.executor = executor
         self.prepared = prepared
@@ -347,6 +393,9 @@ class _ScheduledRun:
         self.params = params
         self.config = config
         self.report = report
+        #: Non-None when this run ships eligible batches out of process.
+        self.process = process
+        self.module_spec = prepared.compiled.module_spec()
         self.ctx = build_context(
             self.plan, opt_level=prepared.compiled.opt_level, params=params
         )
@@ -378,6 +427,66 @@ class _ScheduledRun:
         return self.results[self.plan.root.op_id]
 
     # -- shared helpers ---------------------------------------------------------------
+    def _read_pages(self, binding: str, page_lo: int, page_hi: int) -> tuple:
+        """Materialize a scan task's raw page bytes for shipping.
+
+        Reads go through the live buffer pool in the parent, so worker
+        processes never touch storage; ``bytes()`` snapshots each page
+        buffer before it crosses the pickle boundary.
+        """
+        table = self.ctx.tables[binding]
+        return tuple(
+            bytes(table.read_page(page_no).data)
+            for page_no in range(page_lo, page_hi)
+        )
+
+    def _thunk(self, task):
+        """Materialize one task description for in-process execution."""
+        fn = self.namespace[task.func]
+        ctx = self.ctx
+        if isinstance(task, ScanTask):
+            post = (
+                self.namespace[task.post_func]
+                if task.post_func is not None
+                else None
+            )
+
+            def run_scan():
+                rows = fn(ctx, task.page_lo, task.page_hi)
+                return post(ctx, rows) if post is not None else rows
+
+            return run_scan
+        return lambda: fn(ctx, *task.args)
+
+    def _run_batch(self, tasks: list) -> tuple[list, int, str]:
+        """Run one phase's task batch on the active backend.
+
+        Returns ``(results, workers, backend_name)`` with results in
+        task order.  A batch whose payloads refuse to pickle re-runs on
+        the thread backend — the scheduler's structure (and therefore
+        result order) is identical either way, only the substrate
+        changes.
+        """
+        if self.process is not None:
+            try:
+                results, workers, shipped = self.process.run_batch(
+                    self.module_spec, self.params, tasks, self._read_pages
+                )
+                self.report.shipped_tasks += len(tasks)
+                self.report.shipped_bytes += shipped
+                return results, workers, EXECUTOR_PROCESS
+            except TaskNotPicklable as exc:
+                self.report.skip(
+                    "unpicklable task payload "
+                    f"({str(exc)[:80]}): batch re-ran on the thread "
+                    "backend"
+                )
+        thunks = [self._thunk(task) for task in tasks]
+        results, workers = self.executor.thread_backend().run_thunks(
+            thunks, self.config.workers
+        )
+        return results, workers, EXECUTOR_THREAD
+
     def _serial(self, op) -> None:
         """Run one operator's serial generated function in plan order."""
         started = time.perf_counter()
@@ -431,46 +540,45 @@ class _ScheduledRun:
             )
             self._serial(op)
             return 1
-        dispatcher = MorselDispatcher(table.num_pages, config.morsel_pages)
-        if dispatcher.num_morsels < 2:
+        pages_per = config.morsel_pages
+        if self.process is not None:
+            # Process morsels are coarser: each one's page bytes are
+            # pickled across the boundary, so fewer, larger units keep
+            # the serialization toll amortized.
+            pages_per = coarse_morsel_pages(
+                table.num_pages, config.workers, config.morsel_pages
+            )
+        morsels = morsels_for(table.num_pages, pages_per)
+        if len(morsels) < 2:
             self.report.skip(f"table {op.binding!r}: single morsel")
             self._serial(op)
             return 1
 
         fused = self._fusable_consumer(op, following)
-        scan_fn = self.namespace[self.names[op.op_id]]
-        post_fn = None
+        scan_name = self.names[op.op_id]
+        post_name = None
         if isinstance(fused, Aggregate):
-            post_fn = self.namespace[self.names[fused.op_id] + "_partial"]
+            post_name = self.names[fused.op_id] + "_partial"
         elif isinstance(fused, Project):
-            post_fn = self.namespace[self.names[fused.op_id]]
+            post_name = self.names[fused.op_id]
 
         started = time.perf_counter()
-        workers = min(config.workers, dispatcher.num_morsels)
-        ctx = self.ctx
-
-        def drain() -> dict[int, object]:
-            """One worker: pull morsels until the dispatcher is dry."""
-            partials: dict[int, object] = {}
-            while True:
-                morsel = dispatcher.next()
-                if morsel is None:
-                    return partials
-                rows = scan_fn(ctx, morsel.page_lo, morsel.page_hi)
-                partials[morsel.seq] = (
-                    post_fn(ctx, rows) if post_fn is not None else rows
-                )
-
-        by_seq: dict[int, object] = {}
-        self.executor.drain_futures(
-            self.executor._submit(drain, workers), by_seq.update
-        )
-        ordered = [by_seq[seq] for seq in sorted(by_seq)]
+        tasks = [
+            ScanTask(
+                func=scan_name,
+                binding=op.binding,
+                page_lo=morsel.page_lo,
+                page_hi=morsel.page_hi,
+                post_func=post_name,
+            )
+            for morsel in morsels
+        ]
+        ordered, workers, backend = self._run_batch(tasks)
         self.report.note(
             "stage", time.perf_counter() - started, workers,
-            dispatcher.num_morsels,
+            len(morsels), backend,
         )
-        self.report.morsels += dispatcher.num_morsels
+        self.report.morsels += len(morsels)
         self.report.pages += table.num_pages
 
         if isinstance(fused, Aggregate):
@@ -545,8 +653,8 @@ class _ScheduledRun:
 
     # -- join phase --------------------------------------------------------------------
     def _join(self, op: Join) -> None:
-        pair_fn = self.namespace.get(self.names[op.op_id] + "_pair")
-        if pair_fn is None:
+        pair_name = self.names[op.op_id] + "_pair"
+        if pair_name not in self.namespace:
             self.report.skip("join module lacks a pair entry point")
             self._serial(op)
             return
@@ -570,7 +678,6 @@ class _ScheduledRun:
             self._serial(op)
             return
 
-        ctx = self.ctx
         tasks: list = []
         if op.algorithm in (JOIN_MERGE, JOIN_NESTED):
             bounds = chunk_bounds(len(left), self._chunk_size(len(left)))
@@ -589,9 +696,7 @@ class _ScheduledRun:
                     inner = right[start:]
                 else:
                     inner = right
-                tasks.append(
-                    lambda c=chunk, r=inner: pair_fn(ctx, c, r)
-                )
+                tasks.append(CallTask(func=pair_name, args=(chunk, inner)))
         elif op.algorithm == JOIN_HASH:
             # Serial emission order: left directory insertion order,
             # skipping keys with no right-side partition.
@@ -601,7 +706,7 @@ class _ScheduledRun:
                 self._serial(op)
                 return
             tasks = [
-                lambda k=key: pair_fn(ctx, left[k], right[k])
+                CallTask(func=pair_name, args=(left[key], right[key]))
                 for key in keys
             ]
         else:  # hybrid: corresponding coarse partitions
@@ -610,25 +715,26 @@ class _ScheduledRun:
                 self._serial(op)
                 return
             tasks = [
-                lambda i=index: pair_fn(ctx, left[i], right[i])
+                CallTask(func=pair_name, args=(left[index], right[index]))
                 for index in range(len(left))
             ]
 
         started = time.perf_counter()
-        chunks, workers = self.executor.run_tasks(tasks, config)
+        chunks, workers, backend = self._run_batch(tasks)
         out: list = []
         for chunk in chunks:
             out.extend(chunk)
         self.results[op.op_id] = out
         self.report.note(
-            "join", time.perf_counter() - started, workers, len(tasks)
+            "join", time.perf_counter() - started, workers, len(tasks),
+            backend,
         )
 
     # -- aggregate phase ---------------------------------------------------------------
     def _aggregate(self, op: Aggregate) -> None:
         config = self.config
-        partial = self.namespace.get(self.names[op.op_id] + "_partial")
-        if partial is None or (
+        partial_name = self.names[op.op_id] + "_partial"
+        if partial_name not in self.namespace or (
             op.group_positions and op.algorithm != AGG_MAP
         ):
             # Sort/hybrid aggregation folds its (parallel-)staged input
@@ -655,13 +761,12 @@ class _ScheduledRun:
         if len(bounds) < 2:
             self._serial(op)
             return
-        ctx = self.ctx
         tasks = [
-            lambda lo=lo, hi=hi: partial(ctx, rows[lo:hi])
+            CallTask(func=partial_name, args=(rows[lo:hi],))
             for lo, hi in bounds
         ]
         started = time.perf_counter()
-        partials, workers = self.executor.run_tasks(tasks, config)
+        partials, workers, backend = self._run_batch(tasks)
         input_layout = self.plan.op(op.input_op).output_layout
         self.results[op.op_id] = merge_aggregate_partials(
             op,
@@ -671,7 +776,8 @@ class _ScheduledRun:
             directory_order=self.prepared.compiled.opt_level == OPT_O2,
         )
         self.report.note(
-            "aggregate", time.perf_counter() - started, workers, len(tasks)
+            "aggregate", time.perf_counter() - started, workers,
+            len(tasks), backend,
         )
 
     # -- final phase -------------------------------------------------------------------
@@ -688,20 +794,19 @@ class _ScheduledRun:
         if len(bounds) < 2:
             self._serial(op)
             return
-        sort_fn = self.namespace[self.names[op.op_id]]
-        ctx = self.ctx
         # Each task sorts a contiguous slice copy with the generated
         # ORDER BY function; the k-way merge's run-order tie-break then
         # reproduces the serial stable sort exactly.
         tasks = [
-            lambda lo=lo, hi=hi: sort_fn(ctx, rows[lo:hi])
+            CallTask(func=self.names[op.op_id], args=(rows[lo:hi],))
             for lo, hi in bounds
         ]
         started = time.perf_counter()
-        runs, workers = self.executor.run_tasks(tasks, config)
+        runs, workers, backend = self._run_batch(tasks)
         self.results[op.op_id] = merge_ordered_runs(runs, op.keys)
         self.report.note(
-            "final", time.perf_counter() - started, workers, len(tasks)
+            "final", time.perf_counter() - started, workers, len(tasks),
+            backend,
         )
 
 

@@ -1,0 +1,204 @@
+"""Process-pool worker side of the parallel executor.
+
+Everything in this module runs inside a ``ProcessPoolExecutor`` worker.
+A worker has none of the parent's state — no catalogue, no buffer pool,
+no compiled namespaces — so every task payload carries exactly what the
+generated code needs:
+
+* the *module spec* ``(module_name, source_path)`` of the generated
+  query module, which the worker imports from the compiler's work
+  directory (the analogue of a second ``dlopen`` of the shared library)
+  and caches per path for the pool's lifetime;
+* the execute-time parameter vector (``ctx.params``);
+* pure-data inputs — raw page bytes for scan tasks, row chunks or
+  partition lists for join/aggregate/sort tasks.
+
+Scan tasks get a :class:`PageSliceTable` standing in for the real
+table: it serves the shipped page bytes through the same ``read_page``
+protocol the generated O2 scan loop uses, so the identical inlined code
+runs unchanged against a page slice that crossed the process boundary.
+Only untraced O2 modules are ever shipped here — O0 modules call
+closures in the parent's context and stay on the thread backend.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import struct
+import threading
+from dataclasses import dataclass, field
+
+_NUM_TUPLES = struct.Struct("<I")
+
+#: source_path → executed module namespace.  Paths are unique per
+#: compilation (the compiler appends a serial number), so a cached
+#: namespace can never be stale for its path.
+_MODULES: dict[str, dict] = {}
+_MODULES_LOCK = threading.Lock()
+
+
+class _WorkerContext:
+    """The slice of ``QueryContext`` generated O2 code reads.
+
+    A real :class:`repro.core.executor.QueryContext` would drag the
+    whole core stack into the pickle graph; O2 code only dereferences
+    ``ctx.tables`` and ``ctx.params``, so a worker builds this
+    two-field stand-in instead.
+    """
+
+    __slots__ = ("tables", "params")
+
+    def __init__(self, params: tuple = ()):
+        self.tables: dict[str, PageSliceTable] = {}
+        self.params = params
+
+
+class _PageView:
+    """One shipped page: the byte buffer plus its decoded tuple count."""
+
+    __slots__ = ("data", "num_tuples")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.num_tuples = _NUM_TUPLES.unpack_from(data, 0)[0]
+
+
+class PageSliceTable:
+    """Serves a contiguous page range shipped from the parent process.
+
+    Implements the two members the generated O2 scan loop touches —
+    ``read_page`` and ``num_pages`` — over absolute page numbers, so
+    the loop body is byte-for-byte the one the parent would run.
+    """
+
+    def __init__(self, page_lo: int, pages: list[bytes]):
+        self.page_lo = page_lo
+        self._views = [_PageView(data) for data in pages]
+
+    @property
+    def num_pages(self) -> int:
+        return self.page_lo + len(self._views)
+
+    def read_page(self, page_no: int) -> _PageView:
+        return self._views[page_no - self.page_lo]
+
+
+@dataclass(frozen=True)
+class CallTask:
+    """Run ``namespace[func](ctx, *args)`` — args are pure data.
+
+    Covers join pair tasks (two partitions / an outer chunk plus inner
+    slice), aggregate ``*_partial`` row chunks and ORDER BY run sorts.
+    """
+
+    func: str
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class ScanTask:
+    """Run a generated scan over pages ``[page_lo, page_hi)``.
+
+    ``pages`` is filled by the process backend at submission time (the
+    thread backend reads through the live buffer pool instead);
+    ``post_func`` optionally names a fused consumer — a projection or a
+    ``*_partial`` aggregation — applied to the scan output inside the
+    same task.
+    """
+
+    func: str
+    binding: str
+    page_lo: int
+    page_hi: int
+    post_func: str | None = None
+    pages: tuple = field(default=(), compare=False)
+
+
+def load_namespace(module_name: str, source_path: str) -> dict:
+    """Import one generated module from disk, caching per path.
+
+    Uses a real import spec so tracebacks point into the generated
+    file, exactly as they do in the parent process.
+    """
+    namespace = _MODULES.get(source_path)
+    if namespace is not None:
+        return namespace
+    with _MODULES_LOCK:
+        namespace = _MODULES.get(source_path)
+        if namespace is not None:
+            return namespace
+        spec = importlib.util.spec_from_file_location(
+            module_name, source_path
+        )
+        if spec is None or spec.loader is None:  # pragma: no cover
+            raise ImportError(
+                f"cannot build import spec for generated module "
+                f"{module_name!r} at {source_path!r}"
+            )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        if getattr(module, "HIQUE_OPT_LEVEL", "O2") != "O2" or getattr(
+            module, "HIQUE_TRACED", False
+        ):
+            raise ImportError(
+                f"generated module {module_name!r} is not an untraced O2 "
+                f"module; it cannot run out of process"
+            )
+        namespace = module.__dict__
+        _MODULES[source_path] = namespace
+    return namespace
+
+
+def run_task(
+    module_name: str,
+    source_path: str,
+    params: tuple,
+    task,
+):
+    """Execute one task payload inside a pool worker.
+
+    The single entry point the parent submits; its return value (rows,
+    partition structures or partial-aggregate dicts) is pickled back
+    and merged by the parent's order-preserving finishers.
+    """
+    namespace = load_namespace(module_name, source_path)
+    ctx = _WorkerContext(params)
+    if isinstance(task, ScanTask):
+        ctx.tables[task.binding] = PageSliceTable(
+            task.page_lo, list(task.pages)
+        )
+        rows = namespace[task.func](ctx, task.page_lo, task.page_hi)
+        if task.post_func is not None:
+            rows = namespace[task.post_func](ctx, rows)
+        return rows
+    return namespace[task.func](ctx, *task.args)
+
+
+def shipped_bytes(task) -> int:
+    """Approximate payload size of a task's pure-data inputs.
+
+    Used for the serialization-overhead note in ``ExecutionStats`` —
+    cheap structural accounting (page bytes, row counts × header), not
+    a re-pickle.
+    """
+    if isinstance(task, ScanTask):
+        return sum(len(page) for page in task.pages)
+    total = 0
+    for arg in task.args:
+        if isinstance(arg, (list, tuple)):
+            total += 64 * len(arg)
+        elif isinstance(arg, dict):
+            total += 64 * sum(
+                len(v) if isinstance(v, list) else 1 for v in arg.values()
+            )
+    return total
+
+
+__all__ = [
+    "CallTask",
+    "PageSliceTable",
+    "ScanTask",
+    "load_namespace",
+    "run_task",
+    "shipped_bytes",
+]

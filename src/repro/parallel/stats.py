@@ -2,9 +2,36 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.parallel.morsel import DEFAULT_MORSEL_PAGES
+
+#: Task backends selectable through ``ParallelConfig.executor``.
+EXECUTOR_THREAD = "thread"
+EXECUTOR_PROCESS = "process"
+EXECUTOR_KINDS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
+
+#: Environment default for the task backend (``thread``/``process``).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+
+def default_executor() -> str:
+    """The task backend to use when none is chosen explicitly.
+
+    Reads ``REPRO_EXECUTOR`` so deployments (and the CI matrix leg)
+    can flip every engine onto the process backend without touching
+    call sites; unset or empty means the thread backend.
+    """
+    configured = os.environ.get(EXECUTOR_ENV, "").strip().lower()
+    if not configured:
+        return EXECUTOR_THREAD
+    if configured not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"{EXECUTOR_ENV} must be one of {EXECUTOR_KINDS}, "
+            f"got {configured!r}"
+        )
+    return configured
 
 
 @dataclass(frozen=True)
@@ -17,11 +44,30 @@ class ParallelConfig:
     serial and ``min_rows`` keeps small intermediates (join inputs,
     aggregation inputs, final sorts) serial, where thread fan-out costs
     more than it saves.
+
+    ``executor`` picks the task backend: ``"thread"`` runs tasks on an
+    in-process pool (best for latency-bound scans, whose page waits
+    overlap under the GIL), ``"process"`` ships O2 tasks to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` whose workers
+    re-import the generated module from the compiler's work directory
+    (best for CPU-bound in-memory phases, which the GIL serializes on
+    threads).  The process backend pays a serialization toll — page
+    bytes and row chunks are pickled per task — and falls back to the
+    thread backend, with a stats note, for O0 closure plans and for
+    tasks whose payloads refuse to pickle.
     """
 
     workers: int = 4
     morsel_pages: int = DEFAULT_MORSEL_PAGES
     enabled: bool = True
+    #: Task backend: ``"thread"`` (in-process pool) or ``"process"``.
+    executor: str = EXECUTOR_THREAD
+    #: Upper bound, in seconds, on waiting for one process-backend task
+    #: result.  ``None`` waits forever; a bound turns a hung or wedged
+    #: worker into a clean ``ExecutionError`` instead of a stalled
+    #: query.  Thread tasks cannot be cancelled, so the bound applies
+    #: to the process backend only.
+    task_timeout: float | None = None
     #: Tables below this many pages are scanned serially.
     min_pages: int = 16
     #: Materialized operator inputs below this many rows (summed over
@@ -43,6 +89,13 @@ class ParallelConfig:
             raise ValueError("morsel_pages must be positive")
         if self.min_rows <= 0:
             raise ValueError("min_rows must be positive")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS}, "
+                f"got {self.executor!r}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
 
 
 @dataclass
@@ -52,16 +105,25 @@ class PhaseStats:
     ``workers == 1`` means the phase's operators ran their serial
     generated functions (below thresholds, or serial by design like a
     final LIMIT); ``tasks`` counts the units of work the phase
-    dispatched (morsels, partition pairs, row chunks).
+    dispatched (morsels, partition pairs, row chunks).  ``backend``
+    records which task backend actually ran the phase — ``"process"``
+    implies every task's inputs and outputs crossed a process boundary
+    (pickled page bytes / row chunks), so its ``seconds`` include that
+    serialization overhead.
     """
 
     name: str
     seconds: float = 0.0
     workers: int = 1
     tasks: int = 0
+    backend: str = EXECUTOR_THREAD
 
     def describe(self) -> str:
-        return f"{self.name} {self.seconds * 1000:.1f} ms/{self.workers}w"
+        suffix = "p" if self.backend == EXECUTOR_PROCESS else ""
+        return (
+            f"{self.name} {self.seconds * 1000:.1f} ms/"
+            f"{self.workers}w{suffix}"
+        )
 
 
 @dataclass
@@ -75,6 +137,10 @@ class ExecutionStats:
     """
 
     parallel: bool = False
+    #: Task backend that ran the parallel phases: ``"thread"`` or
+    #: ``"process"`` (the latter only when at least one phase actually
+    #: shipped tasks to worker processes).
+    backend: str = EXECUTOR_THREAD
     #: Workers that actually ran (≤ configured when tasks are few).
     workers: int = 1
     morsels: int = 0
@@ -92,7 +158,7 @@ class ExecutionStats:
 
     def describe(self) -> str:
         if self.parallel:
-            base = f"parallel: {self.workers} workers"
+            base = f"parallel: {self.workers} workers ({self.backend})"
             if self.morsels:
                 base += f", {self.morsels} morsels over {self.pages} pages"
             if self.phases:

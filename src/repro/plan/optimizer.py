@@ -486,6 +486,15 @@ class Optimizer:
         # a residual conjunct checked over the join output.
         joined_bindings = left_rel.bindings | right_rel.bindings
         residuals: list[BoundComparison] = []
+        if algorithm == JOIN_NESTED:
+            # The bare nested-loops template enumerates every pair and
+            # stages nothing, so the driving equi predicate itself must
+            # be enforced as a residual — unlike merge/hash/hybrid,
+            # whose staging + loop bounds embed it.  (The cartesian
+            # path never has a predicate to begin with.)
+            residuals.append(
+                BoundComparison("=", predicate.left, predicate.right)
+            )
         for other in list(remaining):
             if set(other.bindings()) <= joined_bindings:
                 remaining.remove(other)

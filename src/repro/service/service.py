@@ -64,6 +64,10 @@ class ServiceStats:
     rejected: int
     pending: int
     cache: CacheStats
+    #: Intra-query task backend the database's engines dispatch to
+    #: ("thread" or "process") — operators reading service stats see at
+    #: a glance which substrate their sessions' parallel phases run on.
+    executor: str = "thread"
 
 
 @dataclass
@@ -502,6 +506,7 @@ class QueryService:
 
     # -- introspection -----------------------------------------------------------------
     def stats(self) -> ServiceStats:
+        parallel_config = getattr(self.database, "parallel_config", None)
         with self._state_lock:
             return ServiceStats(
                 queries=self._queries,
@@ -512,6 +517,7 @@ class QueryService:
                 rejected=self._rejected,
                 pending=self._pending,
                 cache=self.cache.stats(),
+                executor=getattr(parallel_config, "executor", "thread"),
             )
 
     # -- lifecycle ---------------------------------------------------------------------

@@ -59,6 +59,9 @@ FORCED_CONFIGS = [
     PlannerConfig(force_join="merge"),
     PlannerConfig(force_join="hybrid", force_partitions=8),
     PlannerConfig(force_join="hash"),
+    # Keyed nested loops: the equi predicate rides as a residual (it
+    # once silently vanished, turning the join into a cross product).
+    PlannerConfig(force_join="nested"),
     PlannerConfig(force_agg="sort"),
     PlannerConfig(force_agg="hybrid", force_partitions=8),
     PlannerConfig(force_agg="map"),

@@ -1,0 +1,211 @@
+"""Property tests for the order-preserving merge finishers.
+
+The parallel executor's byte-identity guarantee reduces to one claim:
+every finisher in :mod:`repro.parallel.merge` reassembles per-morsel
+partial results into exactly what the serial staging code would have
+produced.  These tests check that claim against randomized inputs —
+random run counts and sizes, heavy duplication, mixed ASC/DESC key
+directions — with the reference always being the plain serial
+computation (one stable sort / one sequential pass over the
+concatenated runs).
+
+Rows carry a trailing *provenance* field ``(run_index, row_index)``
+that never participates in keys, so the assertions distinguish a merge
+that is merely key-ordered from one that is *stable across run order*
+(ties must drain earlier runs first — the property the executor's
+serial-identity rests on).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.parallel.merge import (
+    kway_merge,
+    merge_fine_partition_runs,
+    merge_ordered_runs,
+    merge_partition_runs,
+    merge_partition_sorted_runs,
+    merge_sorted_runs,
+    order_key,
+    run_key,
+)
+
+SEEDS = range(24)
+
+
+def _random_rows(rng: random.Random, count: int) -> list[tuple]:
+    """Rows of (small-domain int, float, short string) — heavy on ties."""
+    return [
+        (
+            rng.randrange(8),
+            float(rng.randrange(30)) / 2,
+            f"s{rng.randrange(4)}",
+        )
+        for _ in range(count)
+    ]
+
+
+def _tag(runs: list[list[tuple]]) -> list[list[tuple]]:
+    """Append provenance ``(run, index)`` so stability is observable."""
+    return [
+        [row + ((r, i),) for i, row in enumerate(run)]
+        for r, run in enumerate(runs)
+    ]
+
+
+def _random_runs(rng: random.Random) -> list[list[tuple]]:
+    return [
+        _random_rows(rng, rng.randrange(0, 40))
+        for _ in range(rng.randrange(0, 7))
+    ]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kway_merge_equals_stable_sort_of_concatenation(seed):
+    rng = random.Random(seed)
+    positions = rng.sample([0, 1, 2], rng.randrange(1, 4))
+    key = run_key(positions)
+    runs = _tag(_random_runs(rng))
+    for run in runs:
+        run.sort(key=key)  # each run arrives sorted, as from one morsel
+    # The serial result: one stable sort over runs concatenated in run
+    # (page) order — provenance breaks no ties, list.sort is stable.
+    reference = sorted([row for run in runs for row in run], key=key)
+    assert kway_merge(runs, key) == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_merge_sorted_runs_matches_serial_prep_sort(seed):
+    rng = random.Random(seed)
+    positions = rng.sample([0, 1], rng.randrange(1, 3))
+    runs = _tag(_random_runs(rng))
+    key = run_key(positions)
+    for run in runs:
+        run.sort(key=key)
+    reference = sorted([row for run in runs for row in run], key=key)
+    assert merge_sorted_runs(runs, positions) == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_merge_ordered_runs_mixed_directions(seed):
+    rng = random.Random(seed)
+    keys = [
+        (position, rng.random() < 0.5)
+        for position in rng.sample([0, 1, 2], rng.randrange(1, 4))
+    ]
+    key = order_key(keys)
+    runs = _tag(_random_runs(rng))
+    for run in runs:
+        run.sort(key=key)
+    reference = sorted([row for run in runs for row in run], key=key)
+    assert merge_ordered_runs(runs, keys) == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_merge_partition_runs_matches_serial_bucket_append(seed):
+    rng = random.Random(seed)
+    num_buckets = rng.choice([1, 4, 8])
+    runs = _tag(_random_runs(rng))
+    partitioned = [
+        [
+            [row for row in run if hash(row[0]) % num_buckets == b]
+            for b in range(num_buckets)
+        ]
+        for run in runs
+    ]
+    # Serial: one scan in page order appending to each bucket.
+    reference = [
+        [
+            row
+            for run in runs
+            for row in run
+            if hash(row[0]) % num_buckets == b
+        ]
+        for b in range(num_buckets)
+    ]
+    import copy
+
+    got = merge_partition_runs(copy.deepcopy(partitioned))
+    if not runs:
+        assert got == []
+    else:
+        assert got == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_merge_fine_partition_runs_preserves_discovery_order(seed):
+    rng = random.Random(seed)
+    runs = _tag(_random_runs(rng))
+    fine = []
+    for run in runs:
+        buckets: dict = {}
+        for row in run:
+            buckets.setdefault(row[0], []).append(row)
+        fine.append(buckets)
+    # Serial: value directory built in first-occurrence order over the
+    # concatenated input.
+    reference: dict = {}
+    for run in runs:
+        for row in run:
+            reference.setdefault(row[0], []).append(row)
+    got = merge_fine_partition_runs(fine)
+    assert list(got) == list(reference)  # directory insertion order
+    assert got == reference  # per-bucket row order
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_merge_partition_sorted_runs_per_bucket_stable(seed):
+    rng = random.Random(seed)
+    num_buckets = 4
+    positions = rng.sample([0, 1], rng.randrange(1, 3))
+    key = run_key(positions)
+    runs = _tag(_random_runs(rng))
+    partitioned = []
+    for run in runs:
+        buckets = [
+            sorted(
+                [row for row in run if hash(row[0]) % num_buckets == b],
+                key=key,
+            )
+            for b in range(num_buckets)
+        ]
+        partitioned.append(buckets)
+    reference = [
+        sorted(
+            [
+                row
+                for run in runs
+                for row in run
+                if hash(row[0]) % num_buckets == b
+            ],
+            key=key,
+        )
+        for b in range(num_buckets)
+    ]
+    got = merge_partition_sorted_runs(partitioned, positions)
+    if not runs:
+        assert got == []
+    else:
+        assert got == reference
+
+
+def test_kway_merge_tie_break_drains_earlier_run_first():
+    """Explicit witness: equal keys, distinguishable only by provenance."""
+    runs = [
+        [(1, "a"), (1, "b")],
+        [(1, "c")],
+        [(0, "d"), (1, "e")],
+    ]
+    got = kway_merge([list(run) for run in runs], run_key([0]))
+    assert got == [(0, "d"), (1, "a"), (1, "b"), (1, "c"), (1, "e")]
+
+
+def test_kway_merge_degenerate_shapes():
+    key = run_key([0])
+    assert kway_merge([], key) == []
+    assert kway_merge([[], []], key) == []
+    only = [(2,), (3,)]
+    assert kway_merge([[], only, []], key) == only
