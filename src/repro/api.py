@@ -67,6 +67,7 @@ class Database:
         workers: int = 4,
         parallel: bool = True,
         executor: str | None = None,
+        pipeline: bool | None = None,
     ):
         """``max_workers`` sizes the *session* pool (concurrent queries);
         ``workers`` sizes the *morsel* pool inside one query's scan, and
@@ -75,7 +76,11 @@ class Database:
         ``"thread"`` (in-process pool, best for latency-bound scans) or
         ``"process"`` (process pool re-importing generated modules, best
         for CPU-bound in-memory phases); ``None`` defers to the
-        ``REPRO_EXECUTOR`` environment variable, then ``"thread"``."""
+        ``REPRO_EXECUTOR`` environment variable, then ``"thread"``.
+        ``pipeline=True`` turns on dependency-driven cross-phase
+        scheduling (operators launch as their inputs complete instead
+        of at phase barriers; rows stay byte-identical); ``None`` defers
+        to the ``REPRO_PIPELINE`` environment flag, then off."""
         if catalog is not None:
             self.buffer = catalog.buffer
             self.catalog = catalog
@@ -90,8 +95,12 @@ class Database:
         try:
             if executor is None:
                 executor = default_executor()
+            knobs: dict[str, Any] = {}
+            if pipeline is not None:
+                knobs["pipeline"] = pipeline
             self.parallel_config = ParallelConfig(
-                workers=workers, enabled=parallel, executor=executor
+                workers=workers, enabled=parallel, executor=executor,
+                **knobs,
             )
         except ValueError as exc:
             raise ReproError(str(exc)) from None
@@ -177,6 +186,7 @@ class Database:
         allow_float_reorder: bool | None = None,
         executor: str | None = None,
         task_timeout: float | None = None,
+        pipeline: bool | None = None,
     ) -> ParallelConfig:
         """Reconfigure morsel-driven parallelism at run time.
 
@@ -185,7 +195,8 @@ class Database:
         and rebuilt lazily, while in-flight executions drain on the old
         pool with the configuration they started with.  Switching
         ``executor`` retires the old backend's pools too, so a database
-        can hop between the thread and process backends mid-session.
+        can hop between the thread and process backends mid-session;
+        ``pipeline`` toggles dependency-driven cross-phase scheduling.
         """
         if executor is not None and executor not in EXECUTOR_KINDS:
             raise ReproError(
@@ -208,6 +219,9 @@ class Database:
                 task_timeout
                 if task_timeout is not None
                 else current.task_timeout
+            ),
+            pipeline=(
+                pipeline if pipeline is not None else current.pipeline
             ),
             min_pages=(
                 min_pages if min_pages is not None else current.min_pages

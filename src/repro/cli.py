@@ -25,6 +25,11 @@ executed through ``.prepare`` / ``.exec``.  Meta-commands:
 * ``.parallel [on|off]`` — toggle morsel-driven parallel execution; with
   no argument, show the configuration and the last execution's
   per-phase (stage/join/aggregate/final) breakdown
+* ``.pipeline [on|off]`` — toggle dependency-driven (pipelined)
+  scheduling: operators launch as soon as their inputs complete
+  instead of at phase barriers, so independent scans and a CPU-bound
+  join overlap (rows stay byte-identical; the timing line then shows
+  per-phase overlap); with no argument, show the current mode
 * ``.tpch [sf]`` — load a TPC-H instance (default scale factor 0.002)
 * ``.timing on|off`` — toggle per-query timing
 * ``.quit`` — exit
@@ -164,7 +169,8 @@ class Shell:
                     f"{'on' if config.enabled else 'off'} "
                     f"({config.workers} workers, {config.morsel_pages} "
                     f"pages/morsel, {config.executor} backend, "
-                    f"min_pages {config.min_pages}, "
+                    f"{'pipelined' if config.pipeline else 'barrier'} "
+                    f"scheduling, min_pages {config.min_pages}, "
                     f"min_rows {config.min_rows})"
                 )
                 stats = self.db.last_exec_stats(self.engine_kind)
@@ -174,6 +180,23 @@ class Shell:
                         self.write(f"  serial: {note}")
             else:
                 self.write("usage: .parallel [on|off]")
+        elif command == ".pipeline":
+            if argument in ("on", "off"):
+                config = self.db.set_parallel(pipeline=argument == "on")
+                self.write(
+                    f"pipelined scheduling "
+                    f"{'on' if config.pipeline else 'off'} "
+                    f"({config.workers} workers, {config.executor} backend)"
+                )
+            elif argument == "":
+                config = self.db.parallel_config
+                self.write(
+                    f"scheduling: "
+                    f"{'pipelined' if config.pipeline else 'barrier'} "
+                    f"(.pipeline on|off to switch)"
+                )
+            else:
+                self.write("usage: .pipeline [on|off]")
         elif command == ".tpch":
             scale = float(argument) if argument else 0.002
             from repro.bench.tpch import generate_tpch

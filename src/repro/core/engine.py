@@ -104,10 +104,13 @@ class HiqueEngine:
         #: REPRO_DEFAULT_PARALLEL makes engines constructed without an
         #: explicit config default to the parallel path (CI uses this
         #: to exercise it across the whole test suite), with
-        #: REPRO_DEFAULT_WORKERS sizing the pool and REPRO_EXECUTOR
-        #: picking the task backend ("thread" or "process") — the CI
-        #: matrix runs one leg with REPRO_EXECUTOR=process so the whole
-        #: suite exercises the process-pool backend.
+        #: REPRO_DEFAULT_WORKERS sizing the pool, REPRO_EXECUTOR
+        #: picking the task backend ("thread" or "process") and
+        #: REPRO_PIPELINE flipping on dependency-driven cross-phase
+        #: scheduling (ParallelConfig reads it as its default) — the CI
+        #: matrix runs one leg with REPRO_EXECUTOR=process and one with
+        #: REPRO_PIPELINE=1 REPRO_EXECUTOR=process so the whole suite
+        #: exercises the process backend and the pipelined scheduler.
         if parallel is None and os.environ.get(
             "REPRO_DEFAULT_PARALLEL", ""
         ) not in ("", "0"):

@@ -284,7 +284,19 @@ def _emit_scan_generic(
 def emit_restage(
     em: Emitter, gen: GenContext, op: Restage, func_name: str
 ) -> None:
-    """Re-stage an intermediate result (sort it or partition it)."""
+    """Re-stage an intermediate result (sort it or partition it).
+
+    Untraced modules additionally get a ``<name>_chunk`` entry point —
+    the morsel-aware analogue of the staged scan's ``(_lo, _hi)`` page
+    range: the parallel executor calls it once per contiguous row chunk
+    of a large intermediate and reassembles the per-chunk sorted runs /
+    partition sets with the order-preserving merge finishers, exactly
+    like parallel scan staging.  The serial body is already correct
+    over any private row chunk (chunks are slice copies, so even the
+    in-place sort is safe), so the entry point is an alias — the same
+    idiom the merge/nested join templates use for ``*_pair``.  Traced
+    modules skip it because traced runs are serial.
+    """
     prep = op.prep
     with em.block(f"def {func_name}(ctx, rows):"):
         if gen.optimized:
@@ -331,6 +343,9 @@ def emit_restage(
             _emit_generic_prep(em, prep, "out")
             em.emit(f"return {_result_var(prep)}")
     em.emit()
+    if not gen.traced:
+        em.emit(f"{func_name}_chunk = {func_name}")
+        em.emit()
 
 
 def _emit_generic_prep(em: Emitter, prep, rows_var: str) -> None:

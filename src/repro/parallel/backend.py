@@ -23,11 +23,15 @@ page-range morsels — and hands the batch to a backend:
 Both backends return results **in task order**, which is what keeps
 every downstream merge order-preserving and parallel rows byte-
 identical to serial rows.  The first task exception is re-raised after
-the batch drains; a dead worker process or an expired
-``task_timeout`` surfaces as a clean :class:`~repro.errors.ExecutionError`
-instead of a hang, and payloads that refuse to pickle raise
-:class:`TaskNotPicklable` so the scheduler can retry the batch on the
-thread backend.
+the batch drains; a dead worker process or an expired ``task_timeout``
+— enforced on *both* backends as a **stall** deadline (time queued
+behind a concurrent batch's healthy work doesn't count; only a wait
+with zero backend progress does): the process backend kills its pool,
+the thread backend abandons its (unkillable) pool and poisons the
+batch's task queue — surfaces as a clean
+:class:`~repro.errors.ExecutionError` instead of a hang, and payloads
+that refuse to pickle raise :class:`TaskNotPicklable` so the scheduler
+can retry the batch on the thread backend.
 """
 
 from __future__ import annotations
@@ -35,7 +39,12 @@ from __future__ import annotations
 import os
 import pickle
 import threading
-from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
+import time
+from concurrent.futures import (
+    CancelledError as FutureCancelled,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeout,
+)
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 
 from repro.errors import ExecutionError
@@ -67,15 +76,46 @@ class BackendRetired(TaskNotPicklable):
     """
 
 
+class PoolAbandoned(ExecutionError):
+    """Collateral failure: another batch's timeout abandoned the pool.
+
+    Distinct from the wedged batch's own timeout error so callers
+    collecting errors from concurrent batches (the pipelined driver)
+    can prefer the root cause over this secondary casualty.
+    """
+
+
 class ThreadBackend:
-    """In-process worker pool running generated code over shared state."""
+    """In-process worker pool running generated code over shared state.
+
+    ``concurrent_batches`` sizes the pool for the pipelined scheduler:
+    each :meth:`run_thunks` batch still fans out to at most ``workers``
+    claim threads, but the pool holds ``workers × concurrent_batches``
+    slots so batches of *different* operators (a latency-bound scan and
+    a CPU-bound join, say) run side by side instead of queuing behind
+    one another.  Under phase-barrier scheduling only one batch is in
+    flight at a time, so the extra slots stay unused.
+    """
 
     name = "thread"
 
-    def __init__(self, workers: int):
+    def __init__(
+        self,
+        workers: int,
+        task_timeout: float | None = None,
+        concurrent_batches: int = 1,
+    ):
         self.workers = workers
+        self.task_timeout = task_timeout
+        self._slots = workers * max(concurrent_batches, 1)
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
+        #: Tasks completed across every batch on this backend, for the
+        #: stall watchdog: a batch waiting (running *or* queued) while
+        #: any batch completes tasks is behind a healthy pool; only a
+        #: backend-wide silence of ``task_timeout`` seconds is a stall.
+        self._completed = 0
+        self._completed_lock = threading.Lock()
 
     def submit(self, fn, count: int) -> list:
         """Create the pool if needed and submit ``count`` callables.
@@ -87,23 +127,50 @@ class ThreadBackend:
         with self._lock:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers,
+                    max_workers=self._slots,
                     thread_name_prefix="repro-morsel",
                 )
             return [self._pool.submit(fn) for _ in range(count)]
 
-    @staticmethod
-    def drain_futures(futures: list, collect=None) -> None:
+    def drain_futures(
+        self, futures: list, collect=None, progress=None
+    ) -> None:
         """Await every worker future, then re-raise the first error.
 
         Draining all futures before raising keeps no worker running
         against state the caller is about to unwind; ``collect``
         receives each successful result in submission order.
+
+        With a ``task_timeout`` configured, ``progress=True`` arms a
+        stall watchdog: whenever no task completes *anywhere on this
+        backend* for ``task_timeout`` seconds while this batch still
+        has pending futures, the wait aborts with a clean
+        :class:`~repro.errors.ExecutionError` — the thread-side
+        analogue of the process backend's stall-aware deadline.  Time
+        spent queued behind other batches' healthy work does not count
+        (their completions keep resetting the deadline), but a batch
+        queued behind *wedged* work times out like a wedged batch —
+        it would otherwise hang forever.  Thread workers cannot be
+        killed, so the stalled pool is abandoned (the wedged task
+        keeps running detached) and later runs get a fresh pool.
         """
+        if self.task_timeout is not None and progress:
+            self._drain_with_deadline(futures)
         error: BaseException | None = None
         for future in futures:
             try:
                 result = future.result()
+            except FutureCancelled:
+                # A pool teardown cancelled our queued workers before
+                # they started: surface the library's error type, not
+                # a bare CancelledError.
+                if error is None:
+                    error = PoolAbandoned(
+                        "the shared worker pool was torn down (a task "
+                        "timeout elsewhere, or a shutdown) before this "
+                        "batch completed; the next parallel execution "
+                        "gets a fresh pool"
+                    )
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 if error is None:
                     error = exc
@@ -112,6 +179,59 @@ class ThreadBackend:
                     collect(result)
         if error is not None:
             raise error
+
+    def _drain_with_deadline(self, futures: list) -> None:
+        """Wait for all futures, aborting on a ``task_timeout`` stall."""
+        from concurrent.futures import wait as wait_futures
+
+        timeout = self.task_timeout
+        poll = min(max(timeout / 4, 0.01), 0.25)
+        pending = {f for f in futures if not f.done()}
+        last_count = self._completed_count()
+        last_change = time.monotonic()
+        while pending:
+            done, pending = wait_futures(pending, timeout=poll)
+            now = time.monotonic()
+            count = self._completed_count()
+            if done or count != last_count:
+                # This batch's claim workers returned, or some batch
+                # somewhere completed a task: the backend is healthy.
+                last_count, last_change = count, now
+            elif now - last_change > timeout:
+                for future in pending:
+                    future.cancel()
+                self._abandon_pool()
+                raise self._timeout_error()
+
+    def _completed_count(self) -> int:
+        with self._completed_lock:
+            return self._completed
+
+    def _task_done(self) -> None:
+        with self._completed_lock:
+            self._completed += 1
+
+    def _timeout_error(self) -> ExecutionError:
+        return ExecutionError(
+            f"parallel task exceeded task_timeout={self.task_timeout}s "
+            f"on the thread backend; worker threads cannot be killed, "
+            f"so the stalled pool was abandoned and the next parallel "
+            f"execution gets a fresh one"
+        )
+
+    def _abandon_pool(self) -> None:
+        """Drop the stalled pool without waiting for its wedged task.
+
+        No ``cancel_futures`` here: the timed-out batch already
+        cancelled its own queued workers and poisons its dispatcher,
+        while *other* batches sharing the pool are healthy — their
+        queued work keeps draining on the old pool's surviving threads
+        instead of being collaterally failed.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
 
     def run_thunks(self, thunks: list, workers: int) -> tuple[list, int]:
         """Run zero-arg callables on the pool; results in task order.
@@ -129,8 +249,19 @@ class ThreadBackend:
                 if index is None:
                     return
                 out[index] = thunks[index]()
+                self._task_done()
 
-        self.drain_futures(self.submit(drain, workers))
+        try:
+            self.drain_futures(self.submit(drain, workers), progress=True)
+        except BaseException:
+            # Poison the queue so surviving claim workers stop after
+            # their current thunk instead of executing the rest of a
+            # batch the caller is about to unwind.  (After a normal
+            # task error the queue is already drained — the other
+            # claim loops ran every remaining task first — so this
+            # only bites on the timeout/abandonment paths.)
+            dispatcher.cancel()
+            raise
         return out, workers
 
     def close(self) -> None:
@@ -159,6 +290,11 @@ class ProcessBackend:
         self._pool: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
         self._closed = False
+        #: Results collected across every batch on this backend, for
+        #: the stall-aware deadline: a future whose wait expires while
+        #: *other* results keep arriving is queued behind a healthy
+        #: pool (concurrent pipelined batches share it), not wedged.
+        self._completed = 0
 
     # -- pool lifecycle -----------------------------------------------------------
     @staticmethod
@@ -294,7 +430,9 @@ class ProcessBackend:
         for index in range(len(tasks)):
             future = futures[index]
             try:
-                results[index] = future.result(timeout=self.task_timeout)
+                results[index] = self._await_result(future)
+                with self._lock:
+                    self._completed += 1
             except FutureTimeout:
                 self._retire_pool(kill=True)
                 raise ExecutionError(
@@ -326,6 +464,30 @@ class ProcessBackend:
             raise error
         return results, min(self.workers, len(tasks)), shipped
 
+    def _await_result(self, future):
+        """One result, bounded by a *stall-aware* ``task_timeout``.
+
+        The deadline restarts whenever any other result arrived on
+        this backend while we waited: under pipelined scheduling
+        several batches share the worker pool, so a future can sit in
+        the pool queue for longer than ``task_timeout`` behind a
+        perfectly healthy neighbour batch.  Only a wait during which
+        the whole backend made no progress counts as a wedged task.
+        """
+        if self.task_timeout is None:
+            return future.result()
+        with self._lock:
+            seen = self._completed
+        while True:
+            try:
+                return future.result(timeout=self.task_timeout)
+            except FutureTimeout:
+                with self._lock:
+                    completed = self._completed
+                if completed == seen:
+                    raise
+                seen = completed
+
 
 def _is_pickling_failure(exc: BaseException) -> bool:
     """Serialization error vs a genuine task error.
@@ -356,6 +518,7 @@ def _is_pickling_failure(exc: BaseException) -> bool:
 
 
 __all__ = [
+    "PoolAbandoned",
     "ProcessBackend",
     "START_METHOD_ENV",
     "TaskNotPicklable",

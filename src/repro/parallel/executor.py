@@ -27,6 +27,16 @@ parallel strategy exists:
   mixed-direction k-way merge; projections fuse into the scan they
   consume; LIMIT is a serial slice.
 
+* **restage** — re-staging a large intermediate (sorting or
+  partitioning it for its next consumer) runs the generated
+  ``*_chunk`` entry point per contiguous row chunk, with the per-chunk
+  sorted runs / partition sets reassembled by the same merge
+  finishers parallel scan staging uses;
+* **join teams** — a multiway merge team runs the generated team
+  function per chunk of its first input (the other inputs pre-sliced
+  by binary search, exactly like a chunked binary merge join); a
+  hybrid team runs it per corresponding coarse partition.
+
 Each phase's units of work are *pure-data task descriptions*
 (:class:`~repro.parallel.proc.CallTask`,
 :class:`~repro.parallel.proc.ScanTask`) executed by a pluggable
@@ -38,11 +48,29 @@ from the compiler's work directory — CPU-bound in-memory phases scale
 past the GIL that way.  Every merge is order-preserving, which keeps
 parallel output row-for-row identical to a serial run for every plan
 shape and either backend.  Operators below the configured size
-thresholds — and the few without a parallel strategy (restaging, join
-teams) — simply run their serial generated function in plan order, so
-a scheduled run degrades gracefully instead of falling back wholesale.
-:class:`ExecutionStats` reports the per-phase timings, worker counts,
-the backend that ran each phase and any serial decisions.
+thresholds simply run their serial generated function in plan order,
+so a scheduled run degrades gracefully instead of falling back
+wholesale.
+
+Scheduling comes in two flavours.  The default walks the operator
+list with a barrier after each operator.  With
+``ParallelConfig.pipeline`` on, the run instead builds a *dependency
+graph*: every operator (with a scan and its fusable consumer collapsed
+into one node) is keyed by the op ids it produces, tracks completion
+of its input operators' task sets, and launches the moment the last
+one finishes — so independent scans stage concurrently, a CPU-bound
+join overlaps a latency-bound scan of a later input, and a restage
+starts the instant the join feeding it completes.  Task order inside
+every node is unchanged, each node's finisher still reassembles
+results order-preservingly, and node results only become visible to
+dependents after the completion handshake, so pipelined rows are
+byte-identical to barrier rows — only the wall-clock interleaving
+changes.  (Per-partition completion collapses to per-input completion
+because every page-range staging task contributes rows to every
+partition; a pair task's inputs are therefore "staged" exactly when
+both sides' staging task sets drain.)  :class:`ExecutionStats` reports
+the per-phase timings, worker counts, the backend that ran each phase,
+cross-phase overlap seconds and any serial decisions.
 """
 
 from __future__ import annotations
@@ -58,6 +86,7 @@ from repro.core.templates.aggregate import collect_aggregates
 from repro.errors import MapDirectoryOverflow
 from repro.memsim.probe import NULL_PROBE, NullProbe
 from repro.parallel.backend import (
+    PoolAbandoned,
     ProcessBackend,
     TaskNotPicklable,
     ThreadBackend,
@@ -131,7 +160,11 @@ _PHASE_OF = {
 
 @dataclass
 class _Report:
-    """What a scheduled run did: per-phase stats plus serial notes."""
+    """What a scheduled run did: per-phase stats plus serial notes.
+
+    Thread-safe: under pipelined scheduling several operator nodes
+    report concurrently, so every mutation goes through one lock.
+    """
 
     skips: list[str] = field(default_factory=list)
     phases: dict[str, PhaseStats] = field(default_factory=dict)
@@ -140,34 +173,55 @@ class _Report:
     #: Process-backend serialization accounting for this run.
     shipped_tasks: int = 0
     shipped_bytes: int = 0
+    #: ``(phase, started, ended)`` wall-clock spans of every phase
+    #: contribution, for cross-phase overlap accounting.
+    spans: list[tuple[str, float, float]] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def skip(self, reason: str) -> None:
-        if reason not in self.skips:
-            self.skips.append(reason)
+        with self._lock:
+            if reason not in self.skips:
+                self.skips.append(reason)
 
     def note(
         self,
         phase: str,
-        seconds: float,
+        started: float,
+        ended: float,
         workers: int,
         tasks: int,
         backend: str = EXECUTOR_THREAD,
     ) -> None:
-        entry = self.phases.get(phase)
-        if entry is None:
-            self.phases[phase] = PhaseStats(
-                name=phase,
-                seconds=seconds,
-                workers=workers,
-                tasks=tasks,
-                backend=backend,
-            )
-        else:
-            entry.seconds += seconds
-            entry.workers = max(entry.workers, workers)
-            entry.tasks += tasks
-            if backend == EXECUTOR_PROCESS:
-                entry.backend = backend
+        seconds = ended - started
+        with self._lock:
+            self.spans.append((phase, started, ended))
+            entry = self.phases.get(phase)
+            if entry is None:
+                self.phases[phase] = PhaseStats(
+                    name=phase,
+                    seconds=seconds,
+                    workers=workers,
+                    tasks=tasks,
+                    backend=backend,
+                )
+            else:
+                entry.seconds += seconds
+                entry.workers = max(entry.workers, workers)
+                entry.tasks += tasks
+                if backend == EXECUTOR_PROCESS:
+                    entry.backend = backend
+
+    def add_scan(self, morsels: int, pages: int) -> None:
+        with self._lock:
+            self.morsels += morsels
+            self.pages += pages
+
+    def add_shipped(self, tasks: int, nbytes: int) -> None:
+        with self._lock:
+            self.shipped_tasks += tasks
+            self.shipped_bytes += nbytes
 
     @property
     def went_parallel(self) -> bool:
@@ -188,9 +242,60 @@ class _Report:
         )
 
     def ordered_phases(self) -> list[PhaseStats]:
+        self._apply_overlaps()
         return [
             self.phases[name] for name in PHASE_ORDER if name in self.phases
         ]
+
+    def _apply_overlaps(self) -> None:
+        """Fill each phase's ``overlap_seconds`` from the span log.
+
+        A phase's overlap is the portion of its spans covered by the
+        union of every *other* span — another phase's, or another
+        operator node of the same phase (two table scans staging
+        concurrently count: they are exactly the barrier the pipelined
+        scheduler removes).  Under barrier scheduling nodes run one
+        after another, spans never intersect, and every overlap is 0.
+        """
+        totals: dict[str, float] = {}
+        for index, (name, lo, hi) in enumerate(self.spans):
+            others = _merge_spans(
+                [
+                    (other_lo, other_hi)
+                    for other_index, (_, other_lo, other_hi) in enumerate(
+                        self.spans
+                    )
+                    if other_index != index
+                ]
+            )
+            totals[name] = totals.get(name, 0.0) + _span_intersection(
+                lo, hi, others
+            )
+        for name, stats in self.phases.items():
+            stats.overlap_seconds = totals.get(name, 0.0)
+
+
+def _merge_spans(spans: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union a span list into sorted, disjoint intervals."""
+    merged: list[list[float]] = []
+    for lo, hi in sorted(spans):
+        if merged and lo <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    return [(lo, hi) for lo, hi in merged]
+
+
+def _span_intersection(
+    lo: float, hi: float, others: list[tuple[float, float]]
+) -> float:
+    """Length of ``[lo, hi)`` covered by the disjoint ``others``."""
+    total = 0.0
+    for other_lo, other_hi in others:
+        if other_lo >= hi:
+            break
+        total += max(0.0, min(hi, other_hi) - max(lo, other_lo))
+    return total
 
 
 class ParallelExecutor:
@@ -203,15 +308,31 @@ class ParallelExecutor:
     generated functions in plan order.
     """
 
+    #: Pool headroom multiplier for pipelined scheduling: up to this
+    #: many operator nodes' batches can hold their full worker fan-out
+    #: simultaneously before queuing (deeper plans still complete —
+    #: extra batches just wait for free slots).
+    PIPELINE_BATCHES = 4
+
     def __init__(self, config: ParallelConfig | None = None):
         self.config = config if config is not None else ParallelConfig()
         self._lock = threading.Lock()
-        self._thread = ThreadBackend(self.config.workers)
+        self._thread = self._new_thread_backend(self.config)
         #: Process pool, created lazily on the first run that actually
         #: ships tasks (most queries never pay for worker processes).
         self._process: ProcessBackend | None = None
         self.parallel_runs = 0
         self.serial_runs = 0
+
+    @classmethod
+    def _new_thread_backend(cls, config: ParallelConfig) -> ThreadBackend:
+        return ThreadBackend(
+            config.workers,
+            task_timeout=config.task_timeout,
+            concurrent_batches=(
+                cls.PIPELINE_BATCHES if config.pipeline else 1
+            ),
+        )
 
     # -- lifecycle ---------------------------------------------------------------
     def thread_backend(self) -> ThreadBackend:
@@ -236,8 +357,8 @@ class ParallelExecutor:
         fresh pools sized to the new configuration.
         """
         with self._lock:
-            thread, self._thread = self._thread, ThreadBackend(
-                config.workers
+            thread, self._thread = self._thread, self._new_thread_backend(
+                config
             )
             process, self._process = self._process, None
             self.config = config
@@ -247,8 +368,8 @@ class ParallelExecutor:
 
     def close(self) -> None:
         with self._lock:
-            thread, self._thread = self._thread, ThreadBackend(
-                self.config.workers
+            thread, self._thread = self._thread, self._new_thread_backend(
+                self.config
             )
             process, self._process = self._process, None
         thread.close()
@@ -301,9 +422,10 @@ class ParallelExecutor:
                 )
             else:
                 process = self.process_backend()
-        rows = _ScheduledRun(
+        scheduled = _ScheduledRun(
             self, prepared, tuple(params), config, report, process
-        ).execute()
+        )
+        rows = scheduled.execute()
         elapsed = time.perf_counter() - started
         if not report.went_parallel:
             with self._lock:
@@ -328,6 +450,7 @@ class ParallelExecutor:
         return rows, ExecutionStats(
             parallel=True,
             backend=report.backend_used(),
+            pipelined=scheduled.pipelined,
             workers=report.max_workers(),
             morsels=report.morsels,
             pages=report.pages,
@@ -373,6 +496,22 @@ class ParallelExecutor:
         return ""
 
 
+@dataclass(frozen=True)
+class _Node:
+    """One unit of the dependency graph: an operator (or fused pair).
+
+    ``op_ids`` are the operator ids this node materializes results
+    for; ``deps`` the operator ids that must be materialized first.
+    ``run`` executes the node to completion — dispatching its task
+    batch and finishing the merge — and is the only code that writes
+    this node's entries of the shared results map.
+    """
+
+    op_ids: tuple[int, ...]
+    deps: tuple[int, ...]
+    run: object  # zero-arg callable
+
+
 class _ScheduledRun:
     """One execution of a plan through the phase scheduler."""
 
@@ -401,30 +540,168 @@ class _ScheduledRun:
         )
         #: op_id → materialized result (None for a scan fused away).
         self.results: dict[int, object] = {}
+        #: Whether the dependency-driven driver actually ran (set by
+        #: :meth:`execute`; False for single-node plans even when the
+        #: config asks for pipelining).
+        self.pipelined = False
 
     def execute(self) -> list[tuple]:
+        nodes = self._build_nodes()
+        # A single-node plan has nothing to pipeline; note which
+        # scheduler actually ran so the stats report execution, not
+        # configuration.
+        self.pipelined = self.config.pipeline and len(nodes) > 1
+        if self.pipelined:
+            self._run_pipelined(nodes)
+        else:
+            for node in nodes:
+                node.run()
+        return self.results[self.plan.root.op_id]
+
+    # -- the task graph ----------------------------------------------------------------
+    def _build_nodes(self) -> list["_Node"]:
+        """The dependency graph: one node per operator, scans fused.
+
+        A scan and its fusable consumer (projection / partial-able
+        aggregation) collapse into one node producing both op ids, so
+        the fused post-function still rides inside the scan tasks.
+        Node order is plan order, which the barrier driver executes
+        directly; the pipelined driver only honors ``deps``.
+        """
         operators = list(self.plan.operators)
+        nodes: list[_Node] = []
         index = 0
         while index < len(operators):
             op = operators[index]
-            consumed = 1
             if isinstance(op, ScanStage):
                 following = (
                     operators[index + 1]
                     if index + 1 < len(operators)
                     else None
                 )
-                consumed = self._scan(op, following)
-            elif isinstance(op, Join):
-                self._join(op)
-            elif isinstance(op, Aggregate):
-                self._aggregate(op)
-            elif isinstance(op, Sort):
-                self._sort(op)
+                fused = self._fusable_consumer(op, following)
+                if fused is not None:
+                    nodes.append(
+                        _Node(
+                            op_ids=(op.op_id, fused.op_id),
+                            deps=(),
+                            run=self._fused_scan_runner(op, fused),
+                        )
+                    )
+                    index += 2
+                    continue
+                nodes.append(
+                    _Node(
+                        op_ids=(op.op_id,),
+                        deps=(),
+                        run=self._scan_runner(op),
+                    )
+                )
             else:
-                self._serial(op)
-            index += consumed
-        return self.results[self.plan.root.op_id]
+                nodes.append(
+                    _Node(
+                        op_ids=(op.op_id,),
+                        deps=tuple(op.inputs),
+                        run=self._op_runner(op),
+                    )
+                )
+            index += 1
+        return nodes
+
+    def _scan_runner(self, op: ScanStage):
+        return lambda: self._scan(op, None)
+
+    def _fused_scan_runner(self, op: ScanStage, fused):
+        def run() -> None:
+            if not self._scan(op, fused):
+                # The scan stayed serial (below thresholds), so the
+                # consumer did not ride inside the scan tasks; give it
+                # its own chance at parallel execution.
+                self._dispatch(fused)
+
+        return run
+
+    def _op_runner(self, op):
+        return lambda: self._dispatch(op)
+
+    def _dispatch(self, op) -> None:
+        if isinstance(op, Join):
+            self._join(op)
+        elif isinstance(op, MultiwayJoin):
+            self._multiway(op)
+        elif isinstance(op, Restage):
+            self._restage(op)
+        elif isinstance(op, Aggregate):
+            self._aggregate(op)
+        elif isinstance(op, Sort):
+            self._sort(op)
+        else:
+            self._serial(op)
+
+    def _run_pipelined(self, nodes: list["_Node"]) -> None:
+        """Dependency-driven execution: launch nodes as inputs finish.
+
+        Each ready node runs on its own driver thread; its batch fans
+        out on the shared worker pools, so independent nodes' tasks
+        interleave.  A node's results become visible to dependents only
+        through the completion handshake under ``cond`` (the lock
+        gives the happens-before edge), and every started driver is
+        joined before control returns — on error too, so no task ever
+        runs against state the caller is unwinding.
+        """
+        cond = threading.Condition()
+        done: set[int] = set()
+        pending = list(nodes)
+        errors: list[BaseException] = []
+        finished = [0]
+        threads: list[threading.Thread] = []
+
+        def drive(node: "_Node") -> None:
+            try:
+                node.run()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                with cond:
+                    errors.append(exc)
+                    finished[0] += 1
+                    cond.notify_all()
+            else:
+                with cond:
+                    done.update(node.op_ids)
+                    finished[0] += 1
+                    cond.notify_all()
+
+        with cond:
+            while not errors and finished[0] < len(nodes):
+                ready = [
+                    node for node in pending if done.issuperset(node.deps)
+                ]
+                for node in ready:
+                    pending.remove(node)
+                    thread = threading.Thread(
+                        target=drive,
+                        args=(node,),
+                        name="repro-pipeline",
+                        daemon=True,
+                    )
+                    threads.append(thread)
+                    thread.start()
+                if errors or finished[0] >= len(nodes):
+                    break
+                cond.wait()
+        for thread in threads:
+            thread.join()
+        if errors:
+            # Prefer the root cause: a pool abandonment is collateral
+            # damage from a timeout in a *different* node, and which
+            # driver reports first is a race.
+            raise next(
+                (
+                    error
+                    for error in errors
+                    if not isinstance(error, PoolAbandoned)
+                ),
+                errors[0],
+            )
 
     # -- shared helpers ---------------------------------------------------------------
     def _read_pages(self, binding: str, page_lo: int, page_hi: int) -> tuple:
@@ -472,8 +749,7 @@ class _ScheduledRun:
                 results, workers, shipped = self.process.run_batch(
                     self.module_spec, self.params, tasks, self._read_pages
                 )
-                self.report.shipped_tasks += len(tasks)
-                self.report.shipped_bytes += shipped
+                self.report.add_shipped(len(tasks), shipped)
                 return results, workers, EXECUTOR_PROCESS
             except TaskNotPicklable as exc:
                 self.report.skip(
@@ -494,7 +770,7 @@ class _ScheduledRun:
         args = [self.results[input_id] for input_id in op.inputs]
         self.results[op.op_id] = fn(self.ctx, *args)
         self.report.note(
-            _PHASE_OF[type(op)], time.perf_counter() - started, 1, 1
+            _PHASE_OF[type(op)], started, time.perf_counter(), 1, 1
         )
 
     def _chunk_size(self, num_rows: int) -> int:
@@ -518,8 +794,14 @@ class _ScheduledRun:
         return False
 
     # -- stage phase -------------------------------------------------------------------
-    def _scan(self, op: ScanStage, following) -> int:
-        """Morsel-parallel scan + staging; returns operators consumed."""
+    def _scan(self, op: ScanStage, fused) -> bool:
+        """Morsel-parallel scan + staging.
+
+        ``fused`` is the already-resolved fusable consumer (or None);
+        returns whether the consumer's result was produced here — False
+        means the scan stayed serial and the caller must still run the
+        consumer itself.
+        """
         table = op.table
         config = self.config
         if table.num_pages < config.min_pages:
@@ -528,7 +810,7 @@ class _ScheduledRun:
                 f"(< min_pages {config.min_pages})"
             )
             self._serial(op)
-            return 1
+            return False
         if op.prep.kind == PREP_PARTITION_SORT and op.prep.fine:
             # The template emits a value-directory dict for this combo;
             # merge_partition_sorted_runs expects coarse bucket lists.
@@ -539,7 +821,7 @@ class _ScheduledRun:
                 f"has no parallel merge"
             )
             self._serial(op)
-            return 1
+            return False
         pages_per = config.morsel_pages
         if self.process is not None:
             # Process morsels are coarser: each one's page bytes are
@@ -552,9 +834,8 @@ class _ScheduledRun:
         if len(morsels) < 2:
             self.report.skip(f"table {op.binding!r}: single morsel")
             self._serial(op)
-            return 1
+            return False
 
-        fused = self._fusable_consumer(op, following)
         scan_name = self.names[op.op_id]
         post_name = None
         if isinstance(fused, Aggregate):
@@ -575,11 +856,10 @@ class _ScheduledRun:
         ]
         ordered, workers, backend = self._run_batch(tasks)
         self.report.note(
-            "stage", time.perf_counter() - started, workers,
+            "stage", started, time.perf_counter(), workers,
             len(morsels), backend,
         )
-        self.report.morsels += len(morsels)
-        self.report.pages += table.num_pages
+        self.report.add_scan(len(morsels), table.num_pages)
 
         if isinstance(fused, Aggregate):
             started = time.perf_counter()
@@ -594,35 +874,19 @@ class _ScheduledRun:
             self.results[op.op_id] = None
             self.results[fused.op_id] = rows
             self.report.note(
-                "aggregate", time.perf_counter() - started, 1, 1
+                "aggregate", started, time.perf_counter(), 1, 1
             )
-            return 2
+            return True
         if isinstance(fused, Project):
             rows = []
             for chunk in ordered:
                 rows.extend(chunk)
             self.results[op.op_id] = None
             self.results[fused.op_id] = rows
-            return 2
+            return True
 
-        prep = op.prep
-        if prep.kind == PREP_SORT:
-            value: object = merge_sorted_runs(ordered, prep.keys)
-        elif prep.kind == PREP_PARTITION:
-            value = (
-                merge_fine_partition_runs(ordered)
-                if prep.fine
-                else merge_partition_runs(ordered)
-            )
-        elif prep.kind == PREP_PARTITION_SORT:
-            value = merge_partition_sorted_runs(ordered, prep.keys)
-        else:
-            rows = []
-            for chunk in ordered:
-                rows.extend(chunk)
-            value = rows
-        self.results[op.op_id] = value
-        return 1
+        self.results[op.op_id] = _merge_prep_partials(op.prep, ordered)
+        return False
 
     def _fusable_consumer(self, op: ScanStage, following):
         """The next operator, when its work can ride inside scan tasks.
@@ -726,7 +990,82 @@ class _ScheduledRun:
             out.extend(chunk)
         self.results[op.op_id] = out
         self.report.note(
-            "join", time.perf_counter() - started, workers, len(tasks),
+            "join", started, time.perf_counter(), workers, len(tasks),
+            backend,
+        )
+
+    def _multiway(self, op: MultiwayJoin) -> None:
+        """Parallelize a join team as chained per-chunk/-partition tasks.
+
+        A merge team runs the generated n-ary merge per chunk of its
+        first input, the other inputs pre-sliced from the chunk's first
+        key by binary search — the same decomposition as a chunked
+        binary merge join, applied to all n inputs at once.  A hybrid
+        team runs the team function per corresponding coarse partition
+        (each task gets single-partition slices of every input).  Task
+        outputs concatenate in task order, which is the serial emission
+        order, so team results stay byte-identical.
+        """
+        name = self.names[op.op_id]
+        inputs = [self.results[input_id] for input_id in op.input_ops]
+        config = self.config
+        if op.algorithm == JOIN_MERGE:
+            total = sum(len(rows) for rows in inputs)
+        else:
+            total = sum(
+                len(bucket) for parts in inputs for bucket in parts
+            )
+        if total < config.min_rows:
+            self.report.skip(
+                f"join team input {total} rows "
+                f"(< min_rows {config.min_rows})"
+            )
+            self._serial(op)
+            return
+
+        tasks: list = []
+        if op.algorithm == JOIN_MERGE:
+            first = inputs[0]
+            bounds = chunk_bounds(len(first), self._chunk_size(len(first)))
+            if len(bounds) < 2:
+                self.report.skip(
+                    "join team first input yields a single chunk"
+                )
+                self._serial(op)
+                return
+            key0 = op.key_positions[0]
+            for lo, hi in bounds:
+                chunk = first[lo:hi]
+                args: list = [chunk]
+                for k in range(1, len(inputs)):
+                    # Every row of input k whose key could match this
+                    # chunk lies at or after the chunk's first key.
+                    start = lower_bound(
+                        inputs[k], op.key_positions[k], chunk[0][key0]
+                    )
+                    args.append(inputs[k][start:])
+                tasks.append(CallTask(func=name, args=tuple(args)))
+        else:  # hybrid team: one task per corresponding coarse partition
+            if len(inputs[0]) < 2:
+                self.report.skip("join team has a single coarse partition")
+                self._serial(op)
+                return
+            tasks = [
+                CallTask(
+                    func=name,
+                    args=tuple([parts[index]] for parts in inputs),
+                )
+                for index in range(len(inputs[0]))
+            ]
+
+        started = time.perf_counter()
+        chunks, workers, backend = self._run_batch(tasks)
+        out: list = []
+        for chunk in chunks:
+            out.extend(chunk)
+        self.results[op.op_id] = out
+        self.report.note(
+            "join", started, time.perf_counter(), workers, len(tasks),
             backend,
         )
 
@@ -776,8 +1115,60 @@ class _ScheduledRun:
             directory_order=self.prepared.compiled.opt_level == OPT_O2,
         )
         self.report.note(
-            "aggregate", time.perf_counter() - started, workers,
+            "aggregate", started, time.perf_counter(), workers,
             len(tasks), backend,
+        )
+
+    # -- restage -----------------------------------------------------------------------
+    def _restage(self, op: Restage) -> None:
+        """Chunk-parallel re-staging of a large intermediate.
+
+        Each task runs the generated ``*_chunk`` entry point over one
+        contiguous row chunk; chunk outputs reassemble through the same
+        order-preserving finishers as parallel scan staging (stable
+        k-way merges for sorts, run-order bucket merges for
+        partitions), so the restaged structure is byte-identical to the
+        serial function's.
+        """
+        chunk_name = self.names[op.op_id] + "_chunk"
+        if chunk_name not in self.namespace:
+            self.report.skip("restage module lacks a chunk entry point")
+            self._serial(op)
+            return
+        if op.prep.kind == PREP_PARTITION_SORT and op.prep.fine:
+            # Same guard as scan staging: no parallel merge exists for
+            # the fine partition-sort combination (the optimizer never
+            # builds it today).
+            self.report.skip(
+                "restage: fine partition-sort staging has no parallel "
+                "merge"
+            )
+            self._serial(op)
+            return
+        rows = self.results[op.input_op]
+        config = self.config
+        if len(rows) < config.min_rows:
+            self.report.skip(
+                f"restage input {len(rows)} rows "
+                f"(< min_rows {config.min_rows})"
+            )
+            self._serial(op)
+            return
+        bounds = chunk_bounds(len(rows), self._chunk_size(len(rows)))
+        if len(bounds) < 2:
+            self.report.skip("restage input yields a single chunk")
+            self._serial(op)
+            return
+        tasks = [
+            CallTask(func=chunk_name, args=(rows[lo:hi],))
+            for lo, hi in bounds
+        ]
+        started = time.perf_counter()
+        partials, workers, backend = self._run_batch(tasks)
+        self.results[op.op_id] = _merge_prep_partials(op.prep, partials)
+        self.report.note(
+            "stage", started, time.perf_counter(), workers, len(tasks),
+            backend,
         )
 
     # -- final phase -------------------------------------------------------------------
@@ -805,9 +1196,35 @@ class _ScheduledRun:
         runs, workers, backend = self._run_batch(tasks)
         self.results[op.op_id] = merge_ordered_runs(runs, op.keys)
         self.report.note(
-            "final", time.perf_counter() - started, workers, len(tasks),
+            "final", started, time.perf_counter(), workers, len(tasks),
             backend,
         )
+
+
+def _merge_prep_partials(prep, partials: list):
+    """Reassemble per-chunk/per-morsel staging outputs for one prep.
+
+    Shared by parallel scan staging and parallel restaging: the chunk
+    structure differs (page-range morsels vs row chunks) but the
+    partial outputs and their order-preserving finishers are the same.
+    Callers must keep the fine partition-sort combination serial —
+    there is no parallel merge for its value-directory shape.
+    """
+    if prep.kind == PREP_SORT:
+        return merge_sorted_runs(partials, prep.keys)
+    if prep.kind == PREP_PARTITION:
+        return (
+            merge_fine_partition_runs(partials)
+            if prep.fine
+            else merge_partition_runs(partials)
+        )
+    if prep.kind == PREP_PARTITION_SORT:
+        return merge_partition_sorted_runs(partials, prep.keys)
+    # PREP_NONE: plain chunks concatenate in task order.
+    rows: list = []
+    for chunk in partials:
+        rows.extend(chunk)
+    return rows
 
 
 # -- aggregate merging ------------------------------------------------------------------

@@ -123,3 +123,13 @@ class TaskDispatcher:
             index = self._next
             self._next += 1
             return index
+
+    def cancel(self) -> None:
+        """Poison the queue: every future :meth:`next` returns None.
+
+        Used when a batch is abandoned (task timeout): surviving claim
+        workers finish their current task and stop, instead of running
+        the rest of a batch whose caller has already unwound.
+        """
+        with self._lock:
+            self._next = self.count

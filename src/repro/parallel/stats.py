@@ -15,6 +15,9 @@ EXECUTOR_KINDS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
 #: Environment default for the task backend (``thread``/``process``).
 EXECUTOR_ENV = "REPRO_EXECUTOR"
 
+#: Environment default for cross-phase pipelined scheduling.
+PIPELINE_ENV = "REPRO_PIPELINE"
+
 
 def default_executor() -> str:
     """The task backend to use when none is chosen explicitly.
@@ -32,6 +35,26 @@ def default_executor() -> str:
             f"got {configured!r}"
         )
     return configured
+
+
+def default_pipeline() -> bool:
+    """Whether pipelined (dependency-driven) scheduling is on by default.
+
+    Reads ``REPRO_PIPELINE`` so a deployment (and the CI leg) can flip
+    every engine onto the pipelined scheduler without touching call
+    sites; unset or empty means barrier scheduling.
+    """
+    configured = os.environ.get(PIPELINE_ENV, "").strip().lower()
+    if not configured:
+        return False
+    if configured in ("1", "true", "on", "yes"):
+        return True
+    if configured in ("0", "false", "off", "no"):
+        return False
+    raise ValueError(
+        f"{PIPELINE_ENV} must be a boolean flag (1/0/on/off), "
+        f"got {configured!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -62,11 +85,22 @@ class ParallelConfig:
     enabled: bool = True
     #: Task backend: ``"thread"`` (in-process pool) or ``"process"``.
     executor: str = EXECUTOR_THREAD
-    #: Upper bound, in seconds, on waiting for one process-backend task
-    #: result.  ``None`` waits forever; a bound turns a hung or wedged
-    #: worker into a clean ``ExecutionError`` instead of a stalled
-    #: query.  Thread tasks cannot be cancelled, so the bound applies
-    #: to the process backend only.
+    #: Dependency-driven cross-phase scheduling: operators launch the
+    #: moment their inputs are complete instead of at phase barriers,
+    #: so independent scans run concurrently and a CPU-bound join can
+    #: overlap a latency-bound scan.  Results stay byte-identical —
+    #: only wall-clock scheduling changes.  Defaults to the
+    #: ``REPRO_PIPELINE`` environment flag, else off.
+    pipeline: bool = field(default_factory=default_pipeline)
+    #: Upper bound, in seconds, on waiting for a task result while the
+    #: backend makes no progress (time queued behind other healthy
+    #: batches on the shared pool does not count).  ``None`` waits
+    #: forever; a bound turns a hung or wedged worker into a clean
+    #: ``ExecutionError`` instead of a stalled query.  The process
+    #: backend kills its worker pool on expiry; thread workers cannot
+    #: be killed, so the thread backend abandons the stalled pool (the
+    #: wedged task keeps running detached, the rest of its batch is
+    #: poisoned) and later runs get a fresh one.
     task_timeout: float | None = None
     #: Tables below this many pages are scanned serially.
     min_pages: int = 16
@@ -109,7 +143,13 @@ class PhaseStats:
     records which task backend actually ran the phase — ``"process"``
     implies every task's inputs and outputs crossed a process boundary
     (pickled page bytes / row chunks), so its ``seconds`` include that
-    serialization overhead.
+    serialization overhead.  ``overlap_seconds`` is how much of this
+    phase's wall time ran concurrently with other operator nodes —
+    another phase's, or a sibling of the same phase (two table scans
+    staging side by side) — nonzero only under the pipelined
+    scheduler, where e.g. independent scans stage together and a join
+    can run while a later input is still staging; ``Σ seconds −
+    overlap`` therefore approximates the critical path.
     """
 
     name: str
@@ -117,13 +157,19 @@ class PhaseStats:
     workers: int = 1
     tasks: int = 0
     backend: str = EXECUTOR_THREAD
+    #: Seconds of this phase's wall time spent overlapped with other
+    #: phases (pipelined scheduling only; 0.0 under phase barriers).
+    overlap_seconds: float = 0.0
 
     def describe(self) -> str:
         suffix = "p" if self.backend == EXECUTOR_PROCESS else ""
-        return (
+        base = (
             f"{self.name} {self.seconds * 1000:.1f} ms/"
             f"{self.workers}w{suffix}"
         )
+        if self.overlap_seconds > 0:
+            base += f" ({self.overlap_seconds * 1000:.1f} overlapped)"
+        return base
 
 
 @dataclass
@@ -141,6 +187,10 @@ class ExecutionStats:
     #: ``"process"`` (the latter only when at least one phase actually
     #: shipped tasks to worker processes).
     backend: str = EXECUTOR_THREAD
+    #: True when the dependency-driven (pipelined) scheduler ran this
+    #: query, i.e. operators launched as their inputs completed rather
+    #: than at phase barriers.
+    pipelined: bool = False
     #: Workers that actually ran (≤ configured when tasks are few).
     workers: int = 1
     morsels: int = 0
@@ -158,7 +208,12 @@ class ExecutionStats:
 
     def describe(self) -> str:
         if self.parallel:
-            base = f"parallel: {self.workers} workers ({self.backend})"
+            mode = (
+                f"{self.backend}, pipelined"
+                if self.pipelined
+                else self.backend
+            )
+            base = f"parallel: {self.workers} workers ({mode})"
             if self.morsels:
                 base += f", {self.morsels} morsels over {self.pages} pages"
             if self.phases:

@@ -1,16 +1,24 @@
 """Grammar-driven randomized differential testing across every backend.
 
 A seeded generator builds random schemas/data sets and random queries —
-filters, joins, group-by, order-by, ``?`` parameters — and asserts that
-every engine agrees with the naive reference evaluator, and that the
-HIQUE engine's serial, thread-parallel and process-parallel executions
+filters, joins, self-joins, group-by, order-by, ``?`` parameters — and
+asserts that every engine agrees with the naive reference evaluator,
+and that the HIQUE engine's serial, thread-parallel and
+process-parallel executions (pipelined too, under ``REPRO_PIPELINE=1``)
 return *identical* row sequences (the parallel subsystem's byte-
 identity guarantee) at both optimization levels.
+
+The grammar deliberately stresses the degenerate regimes: a third
+table ``v`` is empty, one-row or three rows; filters are occasionally
+impossible (outside every column's value range), so global aggregates
+run over empty inputs — the NULL-producing min/max/avg path — and
+joins/sorts see empty sides; and self-joins (``FROM t t1, t t2``) bind
+one physical table under two bindings.
 
 This is litmus-style differential testing: the query surface is narrow
 enough that any disagreement is a real bug in exactly one layer, and
 the failing seed plus SQL are printed so a mismatch reproduces with a
-two-line script.  The corpus is bounded (3 seeds × 50 queries) to keep
+two-line script.  The corpus is bounded (4 seeds × 50 queries) to keep
 tier-1 fast; the thresholds are tuned way down (single-page morsels,
 ``min_rows=8``) so even these small tables genuinely exercise the
 parallel scan/join/aggregate/sort paths on both task backends.
@@ -19,6 +27,7 @@ parallel scan/join/aggregate/sort paths on both task backends.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
 import pytest
 
@@ -32,7 +41,7 @@ from repro.sql.binder import Binder
 from repro.sql.parser import parse
 from repro.storage import Catalog, Column, DOUBLE, INT, Schema, char
 
-SEEDS = [101, 202, 303]
+SEEDS = [101, 202, 303, 404]
 QUERIES_PER_SEED = 50
 
 #: Thresholds low enough that the fuzz tables' few pages still fan out.
@@ -89,12 +98,89 @@ def _build_catalog(rng: random.Random) -> Catalog:
         (rng.randrange(num_keys), rng.randrange(-100, 100))
         for _ in range(n_u)
     )
+    # A degenerate third table: empty, one row, or three rows — the
+    # edge every operator (scans, joins, sorts, global aggregates)
+    # must survive without diverging from the reference.
+    v = catalog.create_table(
+        "v", Schema([Column("k", INT), Column("e", INT)])
+    )
+    v.load_rows(
+        (rng.randrange(num_keys), rng.randrange(-20, 20))
+        for _ in range(rng.choice([0, 1, 3]))
+    )
     catalog.analyze()
     return catalog
 
 
+@dataclass(frozen=True)
+class _Shape:
+    """One FROM-clause shape: tables plus its per-role column pools."""
+
+    tables: str
+    joins: tuple[str, ...]
+    #: Columns usable in a plain select list.
+    columns: tuple[str, ...]
+    #: Columns usable as GROUP BY keys.
+    groupable: tuple[str, ...]
+    #: Numeric columns usable as aggregate arguments.
+    numeric: tuple[str, ...]
+    #: ``(column, kind)`` pools for filters; kind is "int", "double"
+    #: or "string".
+    filterable: tuple[tuple[str, str], ...]
+
+
+_SHAPES = {
+    "t": _Shape(
+        tables="t",
+        joins=(),
+        columns=("t.a", "t.b", "t.c", "t.k"),
+        groupable=("t.c", "t.k"),
+        numeric=("t.a", "t.b"),
+        filterable=(("t.a", "int"), ("t.k", "int"), ("t.b", "double"),
+                    ("t.c", "string")),
+    ),
+    "tu": _Shape(
+        tables="t, u",
+        joins=("t.k = u.k",),
+        columns=("t.a", "t.b", "t.c", "t.k", "u.k", "u.d"),
+        groupable=("t.c", "t.k", "u.d"),
+        numeric=("t.a", "t.b", "u.d"),
+        filterable=(("t.a", "int"), ("t.k", "int"), ("t.b", "double"),
+                    ("t.c", "string")),
+    ),
+    # Self-join: one physical table under two bindings — staging,
+    # codegen and the interpreters must keep the bindings apart.
+    "self": _Shape(
+        tables="t t1, t t2",
+        joins=("t1.k = t2.k",),
+        columns=("t1.a", "t1.b", "t1.c", "t2.a", "t2.c", "t2.k"),
+        groupable=("t1.c", "t2.c", "t1.k"),
+        numeric=("t1.a", "t1.b", "t2.a"),
+        filterable=(("t1.a", "int"), ("t2.a", "int"), ("t1.b", "double"),
+                    ("t2.c", "string")),
+    ),
+    # The degenerate table, alone and joined: empty/one-row inputs.
+    "v": _Shape(
+        tables="v",
+        joins=(),
+        columns=("v.k", "v.e"),
+        groupable=("v.k",),
+        numeric=("v.e", "v.k"),
+        filterable=(("v.k", "int"), ("v.e", "int")),
+    ),
+    "tv": _Shape(
+        tables="t, v",
+        joins=("t.k = v.k",),
+        columns=("t.a", "t.c", "t.k", "v.e"),
+        groupable=("t.c", "v.e"),
+        numeric=("t.a", "t.b", "v.e"),
+        filterable=(("t.a", "int"), ("t.b", "double"), ("t.c", "string")),
+    ),
+}
+
+
 class _QueryGen:
-    """Random queries over the fixed t/u shape, with literal twins.
+    """Random queries over the fixed t/u/v shapes, with literal twins.
 
     ``generate()`` returns ``(sql, literal_sql, params)``: ``sql`` may
     contain one ``?`` placeholder with ``params`` holding its value,
@@ -103,52 +189,67 @@ class _QueryGen:
     engines run both.
     """
 
-    NUMERIC_T = [("t.a", "a"), ("t.k", "k")]
-
     def __init__(self, rng: random.Random):
         self.rng = rng
 
+    def _pick_shape(self) -> _Shape:
+        roll = self.rng.random()
+        if roll < 0.30:
+            return _SHAPES["t"]
+        if roll < 0.60:
+            return _SHAPES["tu"]
+        if roll < 0.75:
+            return _SHAPES["self"]
+        if roll < 0.87:
+            return _SHAPES["tv"]
+        return _SHAPES["v"]
+
     def generate(self) -> tuple[str, str, tuple]:
         rng = self.rng
-        join = rng.random() < 0.45
+        shape = self._pick_shape()
         aggregate = rng.random() < 0.40
-        where, literal_where, params = self._where(join)
+        where, literal_where, params = self._where(shape)
         if aggregate:
-            select, aliases, group = self._aggregate_select(join)
+            select, aliases, group = self._aggregate_select(shape)
             tail = f" GROUP BY {', '.join(group)}" if group else ""
         else:
-            select, aliases = self._plain_select(join)
+            select, aliases = self._plain_select(shape)
             tail = ""
-        order = self._order_by(aliases)
+        order, total_order = self._order_by(aliases)
+        # LIMIT only under a *total* order (every output column is a
+        # sort key): with a partial order, engines may legitimately
+        # keep different rows among ties at the cutoff, whereas under
+        # a total order tied rows are identical in every projected
+        # column, so any tie choice yields the same multiset.
         limit = (
             f" LIMIT {rng.randrange(1, 25)}"
-            if order and rng.random() < 0.35
+            if total_order and rng.random() < 0.35
             else ""
         )
-        tables = "t, u" if join else "t"
-        sql = f"SELECT {select} FROM {tables}{where}{tail}{order}{limit}"
+        sql = (
+            f"SELECT {select} FROM {shape.tables}{where}{tail}"
+            f"{order}{limit}"
+        )
         literal = (
-            f"SELECT {select} FROM {tables}{literal_where}{tail}"
+            f"SELECT {select} FROM {shape.tables}{literal_where}{tail}"
             f"{order}{limit}"
         )
         return sql, literal, params
 
     # -- pieces -------------------------------------------------------------------
-    def _plain_select(self, join: bool) -> tuple[str, list[str]]:
+    def _plain_select(self, shape: _Shape) -> tuple[str, list[str]]:
         rng = self.rng
-        pool = ["t.a", "t.b", "t.c", "t.k"]
-        if join:
-            pool += ["u.k", "u.d"]
+        pool = list(shape.columns)
         chosen = rng.sample(pool, rng.randrange(1, min(4, len(pool)) + 1))
         items, aliases = [], []
         for i, column in enumerate(chosen):
             alias = f"c{i}"
             items.append(f"{column} AS {alias}")
             aliases.append(alias)
-        if rng.random() < 0.3:
-            left, right = ("t.a", "t.k") if rng.random() < 0.5 else (
-                "t.b", "2"
-            )
+        if len(shape.numeric) >= 2 and rng.random() < 0.3:
+            left, right = rng.sample(list(shape.numeric), 2)
+            if rng.random() < 0.5:
+                right = "2"
             op = rng.choice(["+", "-", "*"])
             alias = f"x{len(items)}"
             items.append(f"{left} {op} {right} AS {alias}")
@@ -156,53 +257,61 @@ class _QueryGen:
         return ", ".join(items), aliases
 
     def _aggregate_select(
-        self, join: bool
+        self, shape: _Shape
     ) -> tuple[str, list[str], list[str]]:
         rng = self.rng
-        groupable = ["t.c", "t.k"] + (["u.d"] if join else [])
-        group_cols = rng.sample(groupable, rng.randrange(0, 3))
+        group_cols = rng.sample(
+            list(shape.groupable),
+            rng.randrange(0, min(3, len(shape.groupable) + 1)),
+        )
         items, aliases = [], []
         for i, column in enumerate(group_cols):
             alias = f"g{i}"
             items.append(f"{column} AS {alias}")
             aliases.append(alias)
-        numeric = ["t.a", "t.b"] + (["u.d"] if join else [])
         for i in range(rng.randrange(1, 4)):
             func = rng.choice(["count", "sum", "min", "max", "avg"])
             alias = f"a{i}"
-            arg = "*" if func == "count" else rng.choice(numeric)
+            arg = "*" if func == "count" else rng.choice(shape.numeric)
             items.append(f"{func}({arg}) AS {alias}")
             aliases.append(alias)
         return ", ".join(items), aliases, group_cols
 
-    def _where(self, join: bool) -> tuple[str, str, tuple]:
+    def _filter_value(self, kind: str):
+        """A comparison literal; occasionally far outside the stored
+        range, so the predicate is unsatisfiable and every downstream
+        operator sees an empty input (the NULL-producing aggregate
+        regime)."""
         rng = self.rng
-        conjuncts: list[str] = []
-        literal_conjuncts: list[str] = []
+        impossible = rng.random() < 0.15
+        if kind == "double":
+            if impossible:
+                return float(rng.randrange(40_000, 90_000)) / 8
+            return float(rng.randrange(-3_000, 3_000)) / 8
+        if impossible:
+            return rng.choice([-1, 1]) * rng.randrange(5_000, 9_000)
+        return rng.randrange(-40, 180)
+
+    def _where(self, shape: _Shape) -> tuple[str, str, tuple]:
+        rng = self.rng
+        conjuncts = list(shape.joins)
+        literal_conjuncts = list(shape.joins)
         params: tuple = ()
-        if join:
-            conjuncts.append("t.k = u.k")
-            literal_conjuncts.append("t.k = u.k")
         for _ in range(rng.randrange(0, 3)):
-            kind = rng.random()
-            if kind < 0.6:
-                column = rng.choice(["t.a", "t.k", "t.b"])
-                op = rng.choice(["<", "<=", ">", ">=", "="])
-                value = (
-                    rng.randrange(-40, 180)
-                    if column != "t.b"
-                    else float(rng.randrange(-3_000, 3_000)) / 8
-                )
-                if not params and rng.random() < 0.30:
-                    conjuncts.append(f"{column} {op} ?")
-                    params = (value,)
-                else:
-                    conjuncts.append(f"{column} {op} {value}")
-                literal_conjuncts.append(f"{column} {op} {value}")
-            else:
+            column, kind = rng.choice(shape.filterable)
+            if kind == "string":
                 value = f"s{rng.randrange(5)}"
-                conjuncts.append(f"t.c = '{value}'")
-                literal_conjuncts.append(f"t.c = '{value}'")
+                conjuncts.append(f"{column} = '{value}'")
+                literal_conjuncts.append(f"{column} = '{value}'")
+                continue
+            op = rng.choice(["<", "<=", ">", ">=", "="])
+            value = self._filter_value(kind)
+            if not params and rng.random() < 0.30:
+                conjuncts.append(f"{column} {op} ?")
+                params = (value,)
+            else:
+                conjuncts.append(f"{column} {op} {value}")
+            literal_conjuncts.append(f"{column} {op} {value}")
         if not conjuncts:
             return "", "", params
         return (
@@ -211,15 +320,17 @@ class _QueryGen:
             params,
         )
 
-    def _order_by(self, aliases: list[str]) -> str:
+    def _order_by(self, aliases: list[str]) -> tuple[str, bool]:
+        """Returns ``(clause, total)`` — ``total`` when every output
+        column is a sort key."""
         rng = self.rng
         if not aliases or rng.random() >= 0.40:
-            return ""
+            return "", False
         keys = rng.sample(aliases, rng.randrange(1, len(aliases) + 1))
         rendered = [
             key + (" DESC" if rng.random() < 0.4 else "") for key in keys
         ]
-        return " ORDER BY " + ", ".join(rendered)
+        return " ORDER BY " + ", ".join(rendered), len(keys) == len(aliases)
 
 
 def _engines(catalog: Catalog) -> dict:

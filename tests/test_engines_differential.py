@@ -115,6 +115,65 @@ def test_single_row_table():
         assert engine.execute("SELECT a, c FROM t") == [(1, "x")], name
 
 
+#: Pinned configurations from the extended fuzz grammar (self-joins,
+#: empty/one-row tables, unsatisfiable filters → NULL-producing empty
+#: aggregates).  The fuzz generates these shapes randomly; each class
+#: is pinned here so a regression reproduces deterministically.
+def _edge_catalog() -> Catalog:
+    catalog = Catalog()
+    t = catalog.create_table(
+        "t",
+        Schema([Column("a", INT), Column("b", DOUBLE),
+                Column("c", char(4)), Column("k", INT)]),
+    )
+    t.load_rows(
+        (i % 23, float(i % 17) / 4, f"s{i % 3}", i % 5)
+        for i in range(180)
+    )
+    empty = catalog.create_table(
+        "empty", Schema([Column("k", INT), Column("e", INT)])
+    )
+    assert empty.num_rows == 0
+    one = catalog.create_table(
+        "one", Schema([Column("k", INT), Column("e", INT)])
+    )
+    one.load_rows([(3, 42)])
+    catalog.analyze()
+    return catalog
+
+
+EDGE_QUERIES = [
+    # Self-join: one physical table under two bindings.
+    "SELECT t1.a, t2.c FROM t t1, t t2 WHERE t1.k = t2.k AND t1.a < 4",
+    "SELECT t1.k, count(*) AS n, max(t2.a) AS m FROM t t1, t t2 "
+    "WHERE t1.k = t2.k GROUP BY t1.k ORDER BY t1.k",
+    # Unsatisfiable filter: global aggregates over an empty input must
+    # yield one row with NULL min/max/avg on every engine.
+    "SELECT count(*) AS n, min(a) AS lo, max(a) AS hi, avg(b) AS m "
+    "FROM t WHERE a > 9000",
+    # Empty / one-row join sides.
+    "SELECT t.a, empty.e FROM t, empty WHERE t.k = empty.k",
+    "SELECT t.a, one.e FROM t, one WHERE t.k = one.k ORDER BY t.a",
+    "SELECT count(*) AS n, sum(e) AS s FROM empty",
+    "SELECT k, count(*) AS n FROM empty GROUP BY k",
+    "SELECT k, e FROM one ORDER BY e DESC",
+]
+
+
+@pytest.mark.parametrize("sql", EDGE_QUERIES)
+def test_fuzz_pinned_edge_regressions(sql):
+    catalog = _edge_catalog()
+    expected = canonical(reference(catalog, sql))
+    for name, factory in ENGINE_FACTORIES.items():
+        engine = factory(catalog)
+        try:
+            assert canonical(engine.execute(sql)) == expected, name
+        finally:
+            close = getattr(engine, "close", None)
+            if callable(close):
+                close()
+
+
 @st.composite
 def _random_tables(draw):
     n_t = draw(st.integers(1, 60))
