@@ -35,7 +35,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import RESULTS_DIR, save_result
+from benchmarks.conftest import RESULTS_DIR, save_bench_json, save_result
 from repro.api import Database
 from repro.bench.reporting import ExperimentResult
 from repro.parallel import ParallelConfig
@@ -233,9 +233,7 @@ def parallel_report(sharded_db):
         shards=NUM_SHARDS,
         rows_per_shard=ROWS_PER_SHARD,
     )
-    path = os.path.join(RESULTS_DIR, "BENCH_parallel.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    save_bench_json("BENCH_parallel.json", payload)
     return best
 
 

@@ -35,7 +35,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import RESULTS_DIR, save_result
+from benchmarks.conftest import RESULTS_DIR, save_bench_json, save_result
 from repro.api import Database
 from repro.bench.reporting import ExperimentResult
 from repro.plan.optimizer import PlannerConfig
@@ -205,9 +205,7 @@ def pipeline_report(pipeline_db):
     )
     save_result(result)
 
-    path = os.path.join(RESULTS_DIR, "BENCH_pipeline.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(best, handle, indent=2, sort_keys=True)
+    save_bench_json("BENCH_pipeline.json", best)
     return best
 
 

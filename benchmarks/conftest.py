@@ -12,6 +12,8 @@ Set ``REPRO_BENCH_SCALE`` to ``tiny`` / ``small`` / ``medium`` (default
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
 
 import pytest
@@ -36,6 +38,58 @@ def save_result(result: ExperimentResult) -> None:
     path = os.path.join(RESULTS_DIR, f"{slug}.txt")
     with open(path, "a", encoding="utf-8") as handle:
         handle.write(text + "\n\n")
+
+
+#: Bench history entries kept per artifact (oldest dropped first).
+HISTORY_LIMIT = 50
+
+
+def save_bench_json(filename: str, payload: dict) -> dict:
+    """Persist a ``BENCH_*.json`` artifact with run-over-run history.
+
+    The current run's numbers stay at the top level (CI gates and the
+    ``test_report_written`` checks read them there); the previous run's
+    snapshot is appended to a bounded ``history`` list, and any metric
+    present in both runs is printed as a comparison so a regression is
+    visible straight in the bench log.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    history: list[dict] = []
+    previous: dict | None = None
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                old = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            old = None
+        if isinstance(old, dict):
+            raw = old.get("history", [])
+            history = [h for h in raw if isinstance(h, dict)]
+            previous = {k: v for k, v in old.items() if k != "history"}
+    out = dict(payload)
+    out["recorded_at"] = (
+        datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ")
+    )
+    if previous is not None:
+        history.append(previous)
+        print(f"\n{filename}: vs previous run "
+              f"({previous.get('recorded_at', 'unstamped')})")
+        for key in sorted(set(payload) & set(previous)):
+            cur, prev = payload[key], previous[key]
+            if (
+                isinstance(cur, (int, float))
+                and isinstance(prev, (int, float))
+                and not isinstance(cur, bool)
+                and prev
+            ):
+                delta = (cur / prev - 1.0) * 100.0
+                print(f"  {key}: {prev:.6g} -> {cur:.6g} ({delta:+.1f}%)")
+    out["history"] = history[-HISTORY_LIMIT:]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(out, handle, indent=2, sort_keys=True)
+    return out
 
 
 @pytest.fixture(scope="session", autouse=True)

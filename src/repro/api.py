@@ -16,6 +16,7 @@ engines are available through :meth:`Database.engine`.
 
 from __future__ import annotations
 
+import re
 import threading
 from typing import Any, Iterable, Sequence
 
@@ -24,6 +25,14 @@ from repro.core.engine import HiqueEngine
 from repro.engines.vectorized import VectorizedEngine
 from repro.engines.volcano import VolcanoEngine
 from repro.errors import ReproError
+from repro.obs import (
+    Observability,
+    Trace,
+    Tracer,
+    default_trace_enabled,
+    storage_registry,
+)
+from repro.obs.explain import render_explain_analyze
 from repro.parallel.executor import ParallelExecutor
 from repro.parallel.stats import (
     EXECUTOR_KINDS,
@@ -48,6 +57,9 @@ ENGINE_KINDS = (
     "vectorized",  # DSM column engine (MonetDB analogue)
 )
 
+#: ``EXPLAIN ANALYZE <sql>`` — executed through :meth:`Database.execute`.
+_EXPLAIN_ANALYZE = re.compile(r"^\s*EXPLAIN\s+ANALYZE\s+(.*)$", re.I | re.S)
+
 
 class Database:
     """A catalogue of tables plus lazily constructed engines.
@@ -68,6 +80,7 @@ class Database:
         parallel: bool = True,
         executor: str | None = None,
         pipeline: bool | None = None,
+        trace: bool | None = None,
     ):
         """``max_workers`` sizes the *session* pool (concurrent queries);
         ``workers`` sizes the *morsel* pool inside one query's scan, and
@@ -80,7 +93,12 @@ class Database:
         ``pipeline=True`` turns on dependency-driven cross-phase
         scheduling (operators launch as their inputs complete instead
         of at phase barriers; rows stay byte-identical); ``None`` defers
-        to the ``REPRO_PIPELINE`` environment flag, then off."""
+        to the ``REPRO_PIPELINE`` environment flag, then off.
+        ``trace=True`` records a span tree per query (see
+        :meth:`last_trace` and ``EXPLAIN ANALYZE``); ``None`` defers to
+        the ``REPRO_TRACE`` environment flag, then off — and the
+        disabled path costs one integer check per instrumentation
+        point."""
         if catalog is not None:
             self.buffer = catalog.buffer
             self.catalog = catalog
@@ -107,6 +125,16 @@ class Database:
         self._engines: dict[str, Any] = {}
         self._engines_lock = threading.Lock()
         self._service: QueryService | None = None
+        #: Per-database metrics registry + tracer: independent databases
+        #: never share collectors or span trees.
+        self.obs = Observability(
+            tracer=Tracer(
+                enabled=(
+                    trace if trace is not None else default_trace_enabled()
+                )
+            )
+        )
+        self.obs.registry.register_collector(self._collect_db_metrics)
         # Engine-internal caches (compiled text cache, DSM copies) go
         # stale on DDL and statistics changes, same as service plans.
         self.catalog.add_listener(self._on_catalog_change)
@@ -155,6 +183,7 @@ class Database:
                 self.catalog,
                 planner_config=config,
                 parallel=self.parallel_config,
+                obs=self.obs,
             )
         if kind == "hique-o0":
             return HiqueEngine(
@@ -162,18 +191,25 @@ class Database:
                 planner_config=config,
                 opt_level="O0",
                 parallel=self.parallel_config,
+                obs=self.obs,
             )
         if kind == "volcano":
-            return VolcanoEngine(self.catalog, planner_config=config)
+            return VolcanoEngine(
+                self.catalog, planner_config=config, obs=self.obs
+            )
         if kind == "volcano-generic":
             return VolcanoEngine(
-                self.catalog, generic=True, planner_config=config
+                self.catalog, generic=True, planner_config=config,
+                obs=self.obs,
             )
         if kind == "systemx":
             return VolcanoEngine(
-                self.catalog, buffered=True, planner_config=config
+                self.catalog, buffered=True, planner_config=config,
+                obs=self.obs,
             )
-        return VectorizedEngine(self.catalog, planner_config=config)
+        return VectorizedEngine(
+            self.catalog, planner_config=config, obs=self.obs
+        )
 
     # -- parallelism knobs ---------------------------------------------------------------
     def set_parallel(
@@ -241,7 +277,9 @@ class Database:
                 if engine.parallel is not None:
                     engine.parallel.reconfigure(self.parallel_config)
                 else:
-                    engine.parallel = ParallelExecutor(self.parallel_config)
+                    engine.parallel = ParallelExecutor(
+                        self.parallel_config, obs=self.obs
+                    )
         return self.parallel_config
 
     def last_exec_stats(self, engine: str = "hique") -> ExecutionStats | None:
@@ -258,6 +296,66 @@ class Database:
                 parallel_runs += executor.parallel_runs
                 serial_runs += executor.serial_runs
         return parallel_runs, serial_runs
+
+    # -- observability -------------------------------------------------------------------
+    def _collect_db_metrics(self, registry) -> None:
+        """Render-time sampler for storage-spine and scheduler gauges."""
+        stats = self.buffer.stats
+        registry.sample("repro_buffer_capacity_pages", self.buffer.capacity)
+        registry.sample("repro_buffer_hits_total", stats.hits)
+        registry.sample("repro_buffer_misses_total", stats.misses)
+        registry.sample("repro_buffer_evictions_total", stats.evictions)
+        parallel_runs, serial_runs = self.parallel_counters()
+        registry.sample("repro_parallel_runs_total", parallel_runs)
+        registry.sample("repro_serial_runs_total", serial_runs)
+
+    def set_trace(self, enabled: bool) -> None:
+        """Turn per-query span recording on or off at run time."""
+        self.obs.tracer.enabled = enabled
+
+    @property
+    def trace_enabled(self) -> bool:
+        return self.obs.tracer.enabled
+
+    def last_trace(self) -> Trace | None:
+        """The most recently completed query's span tree (or None)."""
+        return self.obs.tracer.last_trace()
+
+    def metrics_text(self) -> str:
+        """All metrics in Prometheus text exposition format.
+
+        Concatenates this database's registry (queries, plan cache,
+        sessions, buffer pool, watchdog) with the process-wide storage
+        registry (disk pread latency, shared across databases).
+        """
+        own = self.obs.registry.render_text()
+        storage = storage_registry().render_text()
+        if own and storage:
+            return own + "\n" + storage
+        return own or storage
+
+    def explain_analyze(
+        self,
+        sql: str,
+        engine: str = "hique",
+        params: Sequence[Any] | None = None,
+    ) -> str:
+        """Execute the query with tracing forced on and render the plan
+        annotated with measured per-operator times, rows, morsel tasks,
+        queue waits, worker pids and buffer traffic."""
+        if engine not in ENGINE_KINDS:
+            raise ReproError(
+                f"unknown engine {engine!r}; choose from {ENGINE_KINDS}"
+            )
+        tracer = self.obs.tracer
+        with tracer.ensure_enabled():
+            with tracer.span("explain_analyze", "api") as root:
+                self.service.execute(sql, params=params, engine=engine)
+        trace = root.trace if root is not None else None
+        if trace is None:
+            raise ReproError("tracing produced no span tree")
+        plan = self.service.physical_plan(sql, engine=engine, params=params)
+        return render_explain_analyze(plan, trace)
 
     def _on_catalog_change(self, table: str | None) -> None:
         for kind in ("hique", "hique-o0"):
@@ -308,6 +406,12 @@ class Database:
             raise ReproError(
                 f"unknown engine {engine!r}; choose from {ENGINE_KINDS}"
             )
+        match = _EXPLAIN_ANALYZE.match(sql)
+        if match is not None:
+            text = self.explain_analyze(
+                match.group(1), engine=engine, params=params
+            )
+            return [(line,) for line in text.splitlines()]
         return self.service.execute(sql, params=params, engine=engine)
 
     def explain(self, sql: str) -> str:
@@ -325,6 +429,7 @@ class Database:
     # -- lifecycle -----------------------------------------------------------------------
     def close(self) -> None:
         """Shut down the service and release engine resources."""
+        self.obs.registry.unregister_collector(self._collect_db_metrics)
         self.catalog.remove_listener(self._on_catalog_change)
         if self._service is not None:
             self._service.close()

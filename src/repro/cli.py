@@ -9,7 +9,10 @@ executed through ``.prepare`` / ``.exec``.  Meta-commands:
 * ``.tables`` — list catalogued tables with row counts
 * ``.engine <kind>`` — switch engine (hique, hique-o0, volcano,
   volcano-generic, systemx, vectorized)
-* ``.explain <sql>`` — show the physical plan
+* ``.explain <sql>`` — show the physical plan; ``.explain analyze
+  <sql>`` (or plain ``EXPLAIN ANALYZE <sql>``) executes with tracing
+  forced on and annotates each operator with measured time, rows,
+  morsel tasks, queue wait and worker pids
 * ``.source <sql>`` — show the generated Python module
 * ``.prepare <sql>`` — prepare a statement (literals are parameterized
   away; ``?`` placeholders allowed) and report preparation timings
@@ -32,6 +35,13 @@ executed through ``.prepare`` / ``.exec``.  Meta-commands:
   per-phase overlap); with no argument, show the current mode
 * ``.tpch [sf]`` — load a TPC-H instance (default scale factor 0.002)
 * ``.timing on|off`` — toggle per-query timing
+* ``.trace [on|off|save <path>]`` — toggle span tracing for every
+  query (``REPRO_TRACE=1`` turns it on at startup); ``save`` writes
+  the last query's span tree as Chrome ``trace_event`` JSON, loadable
+  in Perfetto or chrome://tracing; with no argument, show the state
+  and a span summary of the last trace
+* ``.metrics`` — dump all counters, gauges and latency histograms in
+  Prometheus text format
 * ``.quit`` — exit
 """
 
@@ -118,7 +128,15 @@ class Shell:
                 self.write(f"engine set to {argument}")
         elif command == ".explain":
             try:
-                self.write(self.db.explain(argument))
+                first, _, rest = argument.partition(" ")
+                if first.lower() == "analyze" and rest.strip():
+                    self.write(
+                        self.db.explain_analyze(
+                            rest.strip(), engine=self.engine_kind
+                        )
+                    )
+                else:
+                    self.write(self.db.explain(argument))
             except ReproError as exc:
                 self.write(f"error: {exc}")
         elif command == ".source":
@@ -212,6 +230,10 @@ class Shell:
         elif command == ".timing":
             self.timing = argument != "off"
             self.write(f"timing {'on' if self.timing else 'off'}")
+        elif command == ".trace":
+            self._trace(argument)
+        elif command == ".metrics":
+            self.write(self.db.metrics_text())
         else:
             self.write(f"unknown command {command}; try .help")
         return True
@@ -286,7 +308,51 @@ class Shell:
                 f" ms saved, {entry.size_bytes:>7} B] ({kind}) {key}"
             )
 
+    def _trace(self, argument: str) -> None:
+        if argument == "on":
+            self.db.set_trace(True)
+            self.write("tracing on")
+        elif argument == "off":
+            self.db.set_trace(False)
+            self.write("tracing off")
+        elif argument.startswith("save"):
+            trace = self.db.last_trace()
+            if trace is None:
+                self.write("no trace recorded; .trace on and run a query")
+                return
+            path = argument[len("save"):].strip() or "trace.json"
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(trace.to_chrome_trace())
+            self.write(
+                f"wrote {path} (open in Perfetto or chrome://tracing)"
+            )
+        elif argument == "":
+            state = "on" if self.db.trace_enabled else "off"
+            self.write(f"tracing {state}")
+            trace = self.db.last_trace()
+            if trace is not None:
+                spans = sum(1 for _ in trace.root.walk())
+                self.write(
+                    f"last trace: {trace.root.name}, {spans} spans, "
+                    f"{trace.root.duration * 1000:.2f} ms "
+                    f"(.trace save <path> to export)"
+                )
+        else:
+            self.write("usage: .trace [on|off|save <path>]")
+
     def _run_sql(self, sql: str) -> None:
+        head = sql.split(None, 2)
+        if len(head) == 3 and [w.upper() for w in head[:2]] == [
+            "EXPLAIN",
+            "ANALYZE",
+        ]:
+            try:
+                self.write(
+                    self.db.explain_analyze(head[2], engine=self.engine_kind)
+                )
+            except ReproError as exc:
+                self.write(f"error: {exc}")
+            return
         try:
             started = time.perf_counter()
             statement = self.db.prepare(sql, engine=self.engine_kind)

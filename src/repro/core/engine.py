@@ -23,6 +23,7 @@ from repro.core.executor import run_compiled
 from repro.core.generator import CodeGenerator, GeneratedQuery
 from repro.errors import ExecutionError, MapDirectoryOverflow, ReproError
 from repro.memsim.probe import NULL_PROBE, NullProbe
+from repro.obs import Observability, default_observability
 from repro.parallel.executor import ParallelExecutor
 from repro.parallel.stats import (
     ExecutionStats,
@@ -89,8 +90,10 @@ class HiqueEngine:
         opt_level: str = OPT_O2,
         workdir: str | None = None,
         parallel: ParallelConfig | None = None,
+        obs: Observability | None = None,
     ):
         self.catalog = catalog
+        self.obs = obs if obs is not None else default_observability()
         self.planner_config = (
             planner_config if planner_config is not None else PlannerConfig()
         )
@@ -126,7 +129,9 @@ class HiqueEngine:
                 # type, not a bare ValueError from config validation.
                 raise ReproError(str(exc)) from None
         self.parallel = (
-            ParallelExecutor(parallel) if parallel is not None else None
+            ParallelExecutor(parallel, obs=self.obs)
+            if parallel is not None
+            else None
         )
         #: How the most recent execution ran (set per execute call).
         self.last_exec_stats: ExecutionStats | None = None
@@ -157,26 +162,34 @@ class HiqueEngine:
             return self._cache[key]
 
         timings = PreparationTimings()
-        started = time.perf_counter()
-        parsed = query if query is not None else parse(sql)
-        bound = self.binder.bind(parsed, param_dtypes=param_dtypes)
-        timings.parse_seconds = time.perf_counter() - started
+        tracer = self.obs.tracer
+        with tracer.span("prepare", "engine", opt_level=level):
+            started = time.perf_counter()
+            with tracer.span("parse", "prepare"):
+                parsed = query if query is not None else parse(sql)
+                bound = self.binder.bind(parsed, param_dtypes=param_dtypes)
+            timings.parse_seconds = time.perf_counter() - started
 
-        config = (
-            planner_config if planner_config is not None else self.planner_config
-        )
-        started = time.perf_counter()
-        plan = Optimizer(self.catalog, config).plan(bound)
-        timings.optimize_seconds = time.perf_counter() - started
+            config = (
+                planner_config
+                if planner_config is not None
+                else self.planner_config
+            )
+            started = time.perf_counter()
+            with tracer.span("optimize", "prepare"):
+                plan = Optimizer(self.catalog, config).plan(bound)
+            timings.optimize_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        generated = self.generator.generate(
-            plan, name=name, opt_level=level, traced=traced
-        )
-        timings.generate_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            with tracer.span("generate", "prepare"):
+                generated = self.generator.generate(
+                    plan, name=name, opt_level=level, traced=traced
+                )
+            timings.generate_seconds = time.perf_counter() - started
 
-        compiled = self.compiler.compile(generated)
-        timings.compile_seconds = compiled.compile_seconds
+            with tracer.span("compile", "prepare"):
+                compiled = self.compiler.compile(generated)
+            timings.compile_seconds = compiled.compile_seconds
 
         prepared = PreparedQuery(
             sql=sql,
@@ -224,15 +237,36 @@ class HiqueEngine:
                 f"got {len(params)}"
             )
         try:
-            if self.parallel is not None:
-                rows, stats = self.parallel.run(
-                    prepared, params=params, probe=probe
+            with self.obs.tracer.span(
+                "execute",
+                "engine",
+                engine=(
+                    "hique"
+                    if prepared.compiled.opt_level == OPT_O2
+                    else "hique-o0"
+                ),
+            ) as span:
+                if self.parallel is not None:
+                    rows, stats = self.parallel.run(
+                        prepared, params=params, probe=probe
+                    )
+                    self.last_exec_stats = stats
+                    if span is not None:
+                        span.set(
+                            rows=len(rows),
+                            parallel=stats.parallel,
+                            backend=stats.backend,
+                        )
+                    return rows
+                rows = run_compiled(
+                    prepared.compiled,
+                    prepared.plan,
+                    probe=probe,
+                    params=params,
                 )
-                self.last_exec_stats = stats
+                if span is not None:
+                    span.set(rows=len(rows), parallel=False)
                 return rows
-            return run_compiled(
-                prepared.compiled, prepared.plan, probe=probe, params=params
-            )
         except MapDirectoryOverflow:
             # Statistics were stale: fall back to hybrid hash-sort
             # aggregation, which needs no capacity estimates.

@@ -18,6 +18,7 @@ vertically partitioned tables:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,6 +28,8 @@ from repro.engines.vectorized.expressions import (
     vector_expr,
 )
 from repro.errors import ExecutionError, PlanError
+from repro.obs import Observability, default_observability, maybe_span
+from repro.parallel.stats import ExecutionStats
 from repro.plan.descriptors import (
     Aggregate,
     Join,
@@ -69,12 +72,16 @@ class VectorizedEngine:
         self,
         catalog: Catalog,
         planner_config: PlannerConfig | None = None,
+        obs: Observability | None = None,
     ):
         self.catalog = catalog
         self.planner_config = (
             planner_config if planner_config is not None else PlannerConfig()
         )
         self.binder = Binder(catalog)
+        self.obs = obs if obs is not None else default_observability()
+        #: How the most recent execution ran (set per execute call).
+        self.last_exec_stats: ExecutionStats | None = None
         self._columnar: dict[str, ColumnTable] = {}
         # Concurrent sessions may fault in the same DSM conversion; the
         # lock keeps the cache consistent (and the conversion single).
@@ -130,12 +137,31 @@ class VectorizedEngine:
         return self.execute_plan(self.plan(sql, planner_config))
 
     def execute_plan(self, plan: PhysicalPlan) -> list[tuple]:
-        batches: dict[int, _Batch] = {}
-        for operator in plan.operators:
-            batches[operator.op_id] = self._run_operator(
-                plan, operator, batches
-            )
-        return _to_rows(batches[plan.root.op_id])
+        started = time.perf_counter()
+        with self.obs.tracer.span(
+            "execute", "engine", engine="vectorized"
+        ) as span:
+            batches: dict[int, _Batch] = {}
+            for operator in plan.operators:
+                with maybe_span(
+                    f"{type(operator).__name__} o{operator.op_id}",
+                    "node",
+                    op_ids=str(operator.op_id),
+                ) as op_span:
+                    batch = self._run_operator(plan, operator, batches)
+                    if op_span is not None:
+                        op_span.set(rows=batch.length)
+                batches[operator.op_id] = batch
+            rows = _to_rows(batches[plan.root.op_id])
+            if span is not None:
+                span.set(rows=len(rows))
+        self.last_exec_stats = ExecutionStats(
+            parallel=False,
+            rows=len(rows),
+            elapsed_seconds=time.perf_counter() - started,
+            reason="interpreted vectorized engine (column-at-a-time)",
+        )
+        return rows
 
     # -- operators --------------------------------------------------------------------
     def _run_operator(

@@ -8,9 +8,13 @@ buffered=True`` adds the buffering operator and stands in for System X.
 
 from __future__ import annotations
 
+import time
+
 from repro.engines.volcano.base import drain
 from repro.engines.volcano.builder import BuildOptions, build_tree
 from repro.memsim.probe import NULL_PROBE, NullProbe
+from repro.obs import Observability, default_observability
+from repro.parallel.stats import ExecutionStats
 from repro.plan.descriptors import PhysicalPlan
 from repro.plan.optimizer import Optimizer, PlannerConfig
 from repro.sql.binder import Binder
@@ -28,6 +32,7 @@ class VolcanoEngine:
         buffered: bool = False,
         deopt: bool = False,
         planner_config: PlannerConfig | None = None,
+        obs: Observability | None = None,
     ):
         self.catalog = catalog
         self.options = BuildOptions(
@@ -37,6 +42,9 @@ class VolcanoEngine:
             planner_config if planner_config is not None else PlannerConfig()
         )
         self.binder = Binder(catalog)
+        self.obs = obs if obs is not None else default_observability()
+        #: How the most recent execution ran (set per execute call).
+        self.last_exec_stats: ExecutionStats | None = None
 
     def plan(
         self, sql: str, planner_config: PlannerConfig | None = None
@@ -60,5 +68,19 @@ class VolcanoEngine:
     def execute_plan(
         self, plan: PhysicalPlan, probe: NullProbe = NULL_PROBE
     ) -> list[tuple]:
-        root = build_tree(plan, self.options, probe)
-        return drain(root)
+        started = time.perf_counter()
+        kind = "volcano-generic" if self.options.generic else (
+            "systemx" if self.options.buffered else "volcano"
+        )
+        with self.obs.tracer.span("execute", "engine", engine=kind) as span:
+            root = build_tree(plan, self.options, probe)
+            rows = drain(root)
+            if span is not None:
+                span.set(rows=len(rows))
+        self.last_exec_stats = ExecutionStats(
+            parallel=False,
+            rows=len(rows),
+            elapsed_seconds=time.perf_counter() - started,
+            reason=f"interpreted {kind} engine (iterator pipeline)",
+        )
+        return rows

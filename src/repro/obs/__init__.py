@@ -1,0 +1,105 @@
+"""Observability: metrics registry, span tracer, EXPLAIN ANALYZE.
+
+Every layer of the engine reports through one :class:`Observability`
+pair — a :class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.trace.Tracer`.  Each :class:`~repro.api.Database`
+owns its own pair (so registries of independent databases never
+collide); components constructed standalone (engines in unit tests,
+bare executors) fall back to the process-wide default pair, which also
+honours the ``REPRO_TRACE`` environment knob for headless runs.
+
+Storage-level metrics (disk pread latency) go to a dedicated
+process-wide registry, because heap files are constructed far below any
+database and may be shared; ``Database.metrics_text()`` renders both.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    Trace,
+    Tracer,
+    current_span,
+    maybe_span,
+    record_page_access,
+    suppress_overhead_probe,
+)
+
+__all__ = [
+    "Observability",
+    "TRACE_ENV",
+    "default_observability",
+    "default_trace_enabled",
+    "storage_registry",
+    "record_disk_read",
+    "MetricsRegistry",
+    "Tracer",
+    "Trace",
+    "Span",
+    "current_span",
+    "maybe_span",
+    "record_page_access",
+    "suppress_overhead_probe",
+]
+
+#: Environment knob: ``REPRO_TRACE=1`` enables tracing everywhere a
+#: component falls back to the default observability pair, and flips
+#: new ``Database`` instances to tracing-on.
+TRACE_ENV = "REPRO_TRACE"
+
+
+def default_trace_enabled() -> bool:
+    value = os.environ.get(TRACE_ENV, "").strip().lower()
+    return value not in ("", "0", "off", "false", "no")
+
+
+class Observability:
+    """One registry + one tracer, handed down a component tree."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+
+_DEFAULT: Observability | None = None
+_STORAGE_REGISTRY: MetricsRegistry | None = None
+_DISK_READ_HISTOGRAM: Histogram | None = None
+
+
+def default_observability() -> Observability:
+    """Process-wide fallback pair for standalone components."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Observability(
+            tracer=Tracer(enabled=default_trace_enabled())
+        )
+    return _DEFAULT
+
+
+def storage_registry() -> MetricsRegistry:
+    """Process-wide registry for storage-spine metrics (disk reads)."""
+    global _STORAGE_REGISTRY
+    if _STORAGE_REGISTRY is None:
+        _STORAGE_REGISTRY = MetricsRegistry()
+    return _STORAGE_REGISTRY
+
+
+def record_disk_read(seconds: float) -> None:
+    """Record one DiskFile pread latency (histogram + active span)."""
+    global _DISK_READ_HISTOGRAM
+    if _DISK_READ_HISTOGRAM is None:
+        _DISK_READ_HISTOGRAM = storage_registry().histogram(
+            "repro_disk_read_seconds"
+        )
+    _DISK_READ_HISTOGRAM.observe(seconds)
+    span = current_span()
+    if span is not None:
+        span.bump("disk_reads", 1)
+        span.bump("disk_read_seconds", seconds)

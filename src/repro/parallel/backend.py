@@ -48,6 +48,7 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 
 from repro.errors import ExecutionError
+from repro.obs import current_span
 from repro.parallel import proc
 from repro.parallel.morsel import TaskDispatcher
 
@@ -104,9 +105,13 @@ class ThreadBackend:
         workers: int,
         task_timeout: float | None = None,
         concurrent_batches: int = 1,
+        registry=None,
     ):
         self.workers = workers
         self.task_timeout = task_timeout
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` that
+        #: receives structured watchdog events.
+        self.registry = registry
         self._slots = workers * max(concurrent_batches, 1)
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
@@ -133,7 +138,12 @@ class ThreadBackend:
             return [self._pool.submit(fn) for _ in range(count)]
 
     def drain_futures(
-        self, futures: list, collect=None, progress=None
+        self,
+        futures: list,
+        collect=None,
+        progress=None,
+        label: str | None = None,
+        in_flight: set | None = None,
     ) -> None:
         """Await every worker future, then re-raise the first error.
 
@@ -155,7 +165,7 @@ class ThreadBackend:
         keeps running detached) and later runs get a fresh pool.
         """
         if self.task_timeout is not None and progress:
-            self._drain_with_deadline(futures)
+            self._drain_with_deadline(futures, label, in_flight)
         error: BaseException | None = None
         for future in futures:
             try:
@@ -180,12 +190,18 @@ class ThreadBackend:
         if error is not None:
             raise error
 
-    def _drain_with_deadline(self, futures: list) -> None:
+    def _drain_with_deadline(
+        self,
+        futures: list,
+        label: str | None = None,
+        in_flight: set | None = None,
+    ) -> None:
         """Wait for all futures, aborting on a ``task_timeout`` stall."""
         from concurrent.futures import wait as wait_futures
 
         timeout = self.task_timeout
         poll = min(max(timeout / 4, 0.01), 0.25)
+        started = time.monotonic()
         pending = {f for f in futures if not f.done()}
         last_count = self._completed_count()
         last_change = time.monotonic()
@@ -201,7 +217,49 @@ class ThreadBackend:
                 for future in pending:
                     future.cancel()
                 self._abandon_pool()
+                self._record_abandonment(
+                    label, now - started, in_flight
+                )
                 raise self._timeout_error()
+
+    def _record_abandonment(
+        self,
+        label: str | None,
+        elapsed: float,
+        in_flight: set | None,
+    ) -> None:
+        """Leave a structured trail when the watchdog abandons the pool.
+
+        An ``ExecutionError`` alone tells the caller *that* a morsel
+        wedged; the metric event (and, when tracing, an instant span)
+        records *which* node and tasks, so the hang is diagnosable
+        after the fact.
+        """
+        tasks = sorted(in_flight) if in_flight else []
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_watchdog_abandonments_total", backend=self.name
+            ).inc()
+            self.registry.record_event(
+                "watchdog_abandonment",
+                backend=self.name,
+                node=label or "",
+                elapsed_seconds=elapsed,
+                task_timeout=self.task_timeout,
+                wedged_tasks=tasks,
+            )
+        span = current_span()
+        if span is not None:
+            now = time.perf_counter()
+            span.child(
+                "watchdog_abandonment",
+                "watchdog",
+                start=now,
+                end=now,
+                node=label or "",
+                elapsed_seconds=elapsed,
+                wedged_tasks=str(tasks),
+            )
 
     def _completed_count(self) -> int:
         with self._completed_lock:
@@ -233,26 +291,39 @@ class ThreadBackend:
         if pool is not None:
             pool.shutdown(wait=False)
 
-    def run_thunks(self, thunks: list, workers: int) -> tuple[list, int]:
+    def run_thunks(
+        self, thunks: list, workers: int, label: str | None = None
+    ) -> tuple[list, int]:
         """Run zero-arg callables on the pool; results in task order.
 
         Workers claim indices from a :class:`TaskDispatcher`, so a slow
-        task never stalls the queue behind it.
+        task never stalls the queue behind it.  ``label`` names the
+        scheduling node in watchdog diagnostics.
         """
         dispatcher = TaskDispatcher(len(thunks))
         out: list = [None] * len(thunks)
         workers = min(workers, len(thunks))
+        # Claimed-but-unfinished indices; set add/discard are GIL-atomic
+        # so the watchdog can snapshot wedged tasks without a lock.
+        in_flight: set[int] = set()
 
         def drain() -> None:
             while True:
                 index = dispatcher.next()
                 if index is None:
                     return
+                in_flight.add(index)
                 out[index] = thunks[index]()
+                in_flight.discard(index)
                 self._task_done()
 
         try:
-            self.drain_futures(self.submit(drain, workers), progress=True)
+            self.drain_futures(
+                self.submit(drain, workers),
+                progress=True,
+                label=label,
+                in_flight=in_flight,
+            )
         except BaseException:
             # Poison the queue so surviving claim workers stop after
             # their current thunk instead of executing the rest of a
@@ -284,9 +355,15 @@ class ProcessBackend:
 
     name = "process"
 
-    def __init__(self, workers: int, task_timeout: float | None = None):
+    def __init__(
+        self,
+        workers: int,
+        task_timeout: float | None = None,
+        registry=None,
+    ):
         self.workers = workers
         self.task_timeout = task_timeout
+        self.registry = registry
         self._pool: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
         self._closed = False
@@ -381,6 +458,8 @@ class ProcessBackend:
         params: tuple,
         tasks: list,
         page_reader=None,
+        label: str | None = None,
+        task_meta: list | None = None,
     ) -> tuple[list, int, int]:
         """Run one phase's tasks out of process; results in task order.
 
@@ -391,12 +470,22 @@ class ProcessBackend:
         ``page_reader(binding, page_lo, page_hi)`` materializes a scan
         task's page bytes at submission time (reading through the live
         buffer pool in the parent, so workers never touch storage).
+
+        Passing ``task_meta`` (a caller-owned list) opts the batch into
+        worker-side timing: tasks run via
+        :func:`repro.parallel.proc.run_task_traced` and one dict per
+        task — worker pid/thread, monotonic start/end, submit time —
+        is appended in task order, so the caller can synthesize task
+        spans attributed to worker processes.
         """
         module_name, source_path = module_spec
         pool = self._ensure_pool()
         futures: list = [None] * len(tasks)
         shipped = 0
         submitted = 0
+        traced = task_meta is not None
+        entry = proc.run_task_traced if traced else proc.run_task
+        submit_times: list = [None] * len(tasks) if traced else []
         # Submit-as-you-collect: only a bounded window of payloads is
         # materialized (page bytes read, pickled) at any moment, so a
         # scan of a large table never holds the whole table's bytes in
@@ -419,8 +508,10 @@ class ProcessBackend:
                         ),
                     )
                 shipped += proc.shipped_bytes(task)
+                if traced:
+                    submit_times[submitted] = time.perf_counter()
                 futures[submitted] = pool.submit(
-                    proc.run_task, module_name, source_path, params, task
+                    entry, module_name, source_path, params, task
                 )
                 submitted += 1
 
@@ -430,11 +521,39 @@ class ProcessBackend:
         for index in range(len(tasks)):
             future = futures[index]
             try:
-                results[index] = self._await_result(future)
+                payload = self._await_result(future)
+                if traced:
+                    result, pid, thread_id, started, ended = payload
+                    results[index] = result
+                    task_meta.append(
+                        {
+                            "index": index,
+                            "pid": pid,
+                            "thread_id": thread_id,
+                            "submitted": submit_times[index],
+                            "started": started,
+                            "ended": ended,
+                        }
+                    )
+                else:
+                    results[index] = payload
                 with self._lock:
                     self._completed += 1
             except FutureTimeout:
                 self._retire_pool(kill=True)
+                if self.registry is not None:
+                    self.registry.counter(
+                        "repro_watchdog_abandonments_total",
+                        backend=self.name,
+                    ).inc()
+                    self.registry.record_event(
+                        "watchdog_abandonment",
+                        backend=self.name,
+                        node=label or "",
+                        elapsed_seconds=self.task_timeout,
+                        task_timeout=self.task_timeout,
+                        wedged_tasks=[index],
+                    )
                 raise ExecutionError(
                     f"parallel task exceeded task_timeout="
                     f"{self.task_timeout}s on the process backend; "

@@ -85,6 +85,12 @@ from repro.core.executor import build_context, run_compiled
 from repro.core.templates.aggregate import collect_aggregates
 from repro.errors import MapDirectoryOverflow
 from repro.memsim.probe import NULL_PROBE, NullProbe
+from repro.obs import (
+    Observability,
+    current_span,
+    default_observability,
+    maybe_span,
+)
 from repro.parallel.backend import (
     PoolAbandoned,
     ProcessBackend,
@@ -314,8 +320,13 @@ class ParallelExecutor:
     #: extra batches just wait for free slots).
     PIPELINE_BATCHES = 4
 
-    def __init__(self, config: ParallelConfig | None = None):
+    def __init__(
+        self,
+        config: ParallelConfig | None = None,
+        obs: Observability | None = None,
+    ):
         self.config = config if config is not None else ParallelConfig()
+        self.obs = obs if obs is not None else default_observability()
         self._lock = threading.Lock()
         self._thread = self._new_thread_backend(self.config)
         #: Process pool, created lazily on the first run that actually
@@ -324,14 +335,14 @@ class ParallelExecutor:
         self.parallel_runs = 0
         self.serial_runs = 0
 
-    @classmethod
-    def _new_thread_backend(cls, config: ParallelConfig) -> ThreadBackend:
+    def _new_thread_backend(self, config: ParallelConfig) -> ThreadBackend:
         return ThreadBackend(
             config.workers,
             task_timeout=config.task_timeout,
             concurrent_batches=(
-                cls.PIPELINE_BATCHES if config.pipeline else 1
+                self.PIPELINE_BATCHES if config.pipeline else 1
             ),
+            registry=self.obs.registry,
         )
 
     # -- lifecycle ---------------------------------------------------------------
@@ -345,6 +356,7 @@ class ParallelExecutor:
                 self._process = ProcessBackend(
                     self.config.workers,
                     task_timeout=self.config.task_timeout,
+                    registry=self.obs.registry,
                 )
             return self._process
 
@@ -535,6 +547,11 @@ class _ScheduledRun:
         #: Non-None when this run ships eligible batches out of process.
         self.process = process
         self.module_spec = prepared.compiled.module_spec()
+        #: Span the scheduler's node spans parent under.  Captured on
+        #: the constructing thread (where the engine's execute span is
+        #: active): node runners later execute on pipeline driver
+        #: threads, whose contexts start empty.
+        self.parent_span = current_span()
         self.ctx = build_context(
             self.plan, opt_level=prepared.compiled.opt_level, params=params
         )
@@ -581,11 +598,14 @@ class _ScheduledRun:
                 )
                 fused = self._fusable_consumer(op, following)
                 if fused is not None:
+                    op_ids = (op.op_id, fused.op_id)
                     nodes.append(
                         _Node(
-                            op_ids=(op.op_id, fused.op_id),
+                            op_ids=op_ids,
                             deps=(),
-                            run=self._fused_scan_runner(op, fused),
+                            run=self._with_node_span(
+                                op_ids, self._fused_scan_runner(op, fused)
+                            ),
                         )
                     )
                     index += 2
@@ -594,7 +614,9 @@ class _ScheduledRun:
                     _Node(
                         op_ids=(op.op_id,),
                         deps=(),
-                        run=self._scan_runner(op),
+                        run=self._with_node_span(
+                            (op.op_id,), self._scan_runner(op)
+                        ),
                     )
                 )
             else:
@@ -602,11 +624,47 @@ class _ScheduledRun:
                     _Node(
                         op_ids=(op.op_id,),
                         deps=tuple(op.inputs),
-                        run=self._op_runner(op),
+                        run=self._with_node_span(
+                            (op.op_id,), self._op_runner(op)
+                        ),
                     )
                 )
             index += 1
         return nodes
+
+    def _node_label(self, op_ids: tuple[int, ...]) -> str:
+        return "+".join(
+            f"{type(self.plan.op(op_id)).__name__} o{op_id}"
+            for op_id in op_ids
+        )
+
+    def _with_node_span(self, op_ids: tuple[int, ...], run):
+        """Wrap a node runner in a scheduler-node span (when tracing).
+
+        The span parents under the engine's execute span captured at
+        construction and is *activated* for the duration of the run, so
+        batch dispatch, merge finishers and buffer-pool attribution all
+        land under the right node — on the barrier driver (the calling
+        thread) and on pipelined driver threads alike.
+        """
+        if self.parent_span is None:
+            return run
+        label = self._node_label(op_ids)
+
+        def traced() -> None:
+            span = self.parent_span.child(
+                label, "node", op_ids=",".join(str(i) for i in op_ids)
+            )
+            try:
+                with span.activate():
+                    run()
+            finally:
+                span.finish()
+                rows = _result_rows(self.results.get(op_ids[-1]))
+                if rows is not None:
+                    span.set(rows=rows)
+
+        return traced
 
     def _scan_runner(self, op: ScanStage):
         return lambda: self._scan(op, None)
@@ -735,21 +793,53 @@ class _ScheduledRun:
             return run_scan
         return lambda: fn(ctx, *task.args)
 
-    def _run_batch(self, tasks: list) -> tuple[list, int, str]:
+    def _run_batch(
+        self, tasks: list, label: str | None = None
+    ) -> tuple[list, int, str]:
         """Run one phase's task batch on the active backend.
 
         Returns ``(results, workers, backend_name)`` with results in
         task order.  A batch whose payloads refuse to pickle re-runs on
         the thread backend — the scheduler's structure (and therefore
         result order) is identical either way, only the substrate
-        changes.
+        changes.  ``label`` names the scheduling node in watchdog
+        diagnostics and task spans.
         """
+        node_span = current_span()
         if self.process is not None:
             try:
+                task_meta: list | None = (
+                    [] if node_span is not None else None
+                )
                 results, workers, shipped = self.process.run_batch(
-                    self.module_spec, self.params, tasks, self._read_pages
+                    self.module_spec,
+                    self.params,
+                    tasks,
+                    self._read_pages,
+                    label=label,
+                    task_meta=task_meta,
                 )
                 self.report.add_shipped(len(tasks), shipped)
+                if node_span is not None:
+                    for meta in task_meta:
+                        node_span.child(
+                            f"task {meta['index']}",
+                            "task",
+                            start=meta["started"],
+                            end=meta["ended"],
+                            thread_id=meta["thread_id"],
+                            pid=meta["pid"],
+                            index=meta["index"],
+                            queue_seconds=max(
+                                0.0, meta["started"] - meta["submitted"]
+                            ),
+                        )
+                    node_span.set(
+                        tasks=len(tasks),
+                        workers=workers,
+                        backend=EXECUTOR_PROCESS,
+                        shipped_bytes=shipped,
+                    )
                 return results, workers, EXECUTOR_PROCESS
             except TaskNotPicklable as exc:
                 self.report.skip(
@@ -757,11 +847,48 @@ class _ScheduledRun:
                     f"({str(exc)[:80]}): batch re-ran on the thread "
                     "backend"
                 )
-        thunks = [self._thunk(task) for task in tasks]
+        if node_span is not None:
+            thunks = self._traced_thunks(tasks, node_span)
+        else:
+            thunks = [self._thunk(task) for task in tasks]
         results, workers = self.executor.thread_backend().run_thunks(
-            thunks, self.config.workers
+            thunks, self.config.workers, label=label
         )
+        if node_span is not None:
+            node_span.set(
+                tasks=len(tasks), workers=workers, backend=EXECUTOR_THREAD
+            )
         return results, workers, EXECUTOR_THREAD
+
+    def _traced_thunks(self, tasks: list, node_span) -> list:
+        """Wrap each task thunk in a task span under the node span.
+
+        The wrapper runs on a claim-worker thread (empty context), so
+        it activates its span explicitly; the span start vs batch
+        submission time is the task's queue wait.
+        """
+        submitted = time.perf_counter()
+        thunks = []
+        for index, task in enumerate(tasks):
+            inner = self._thunk(task)
+
+            def run(inner=inner, index=index):
+                started = time.perf_counter()
+                span = node_span.child(
+                    f"task {index}",
+                    "task",
+                    start=started,
+                    index=index,
+                    queue_seconds=started - submitted,
+                )
+                with span.activate():
+                    try:
+                        return inner()
+                    finally:
+                        span.finish()
+
+            thunks.append(run)
+        return thunks
 
     def _serial(self, op) -> None:
         """Run one operator's serial generated function in plan order."""
@@ -854,7 +981,9 @@ class _ScheduledRun:
             )
             for morsel in morsels
         ]
-        ordered, workers, backend = self._run_batch(tasks)
+        ordered, workers, backend = self._run_batch(
+            tasks, label=f"stage:o{op.op_id}"
+        )
         self.report.note(
             "stage", started, time.perf_counter(), workers,
             len(morsels), backend,
@@ -864,13 +993,16 @@ class _ScheduledRun:
         if isinstance(fused, Aggregate):
             started = time.perf_counter()
             input_layout = self.plan.op(fused.input_op).output_layout
-            rows = merge_aggregate_partials(
-                fused,
-                input_layout,
-                ordered,
-                self.params,
-                directory_order=self.prepared.compiled.opt_level == OPT_O2,
-            )
+            with maybe_span("merge", "merge", kind="aggregate-partials"):
+                rows = merge_aggregate_partials(
+                    fused,
+                    input_layout,
+                    ordered,
+                    self.params,
+                    directory_order=(
+                        self.prepared.compiled.opt_level == OPT_O2
+                    ),
+                )
             self.results[op.op_id] = None
             self.results[fused.op_id] = rows
             self.report.note(
@@ -885,7 +1017,8 @@ class _ScheduledRun:
             self.results[fused.op_id] = rows
             return True
 
-        self.results[op.op_id] = _merge_prep_partials(op.prep, ordered)
+        with maybe_span("merge", "merge", kind=op.prep.kind):
+            self.results[op.op_id] = _merge_prep_partials(op.prep, ordered)
         return False
 
     def _fusable_consumer(self, op: ScanStage, following):
@@ -984,7 +1117,9 @@ class _ScheduledRun:
             ]
 
         started = time.perf_counter()
-        chunks, workers, backend = self._run_batch(tasks)
+        chunks, workers, backend = self._run_batch(
+            tasks, label=f"join:o{op.op_id}"
+        )
         out: list = []
         for chunk in chunks:
             out.extend(chunk)
@@ -1059,7 +1194,9 @@ class _ScheduledRun:
             ]
 
         started = time.perf_counter()
-        chunks, workers, backend = self._run_batch(tasks)
+        chunks, workers, backend = self._run_batch(
+            tasks, label=f"join-team:o{op.op_id}"
+        )
         out: list = []
         for chunk in chunks:
             out.extend(chunk)
@@ -1105,15 +1242,18 @@ class _ScheduledRun:
             for lo, hi in bounds
         ]
         started = time.perf_counter()
-        partials, workers, backend = self._run_batch(tasks)
-        input_layout = self.plan.op(op.input_op).output_layout
-        self.results[op.op_id] = merge_aggregate_partials(
-            op,
-            input_layout,
-            partials,
-            self.params,
-            directory_order=self.prepared.compiled.opt_level == OPT_O2,
+        partials, workers, backend = self._run_batch(
+            tasks, label=f"aggregate:o{op.op_id}"
         )
+        input_layout = self.plan.op(op.input_op).output_layout
+        with maybe_span("merge", "merge", kind="aggregate-partials"):
+            self.results[op.op_id] = merge_aggregate_partials(
+                op,
+                input_layout,
+                partials,
+                self.params,
+                directory_order=self.prepared.compiled.opt_level == OPT_O2,
+            )
         self.report.note(
             "aggregate", started, time.perf_counter(), workers,
             len(tasks), backend,
@@ -1164,8 +1304,11 @@ class _ScheduledRun:
             for lo, hi in bounds
         ]
         started = time.perf_counter()
-        partials, workers, backend = self._run_batch(tasks)
-        self.results[op.op_id] = _merge_prep_partials(op.prep, partials)
+        partials, workers, backend = self._run_batch(
+            tasks, label=f"restage:o{op.op_id}"
+        )
+        with maybe_span("merge", "merge", kind=op.prep.kind):
+            self.results[op.op_id] = _merge_prep_partials(op.prep, partials)
         self.report.note(
             "stage", started, time.perf_counter(), workers, len(tasks),
             backend,
@@ -1193,12 +1336,28 @@ class _ScheduledRun:
             for lo, hi in bounds
         ]
         started = time.perf_counter()
-        runs, workers, backend = self._run_batch(tasks)
-        self.results[op.op_id] = merge_ordered_runs(runs, op.keys)
+        runs, workers, backend = self._run_batch(
+            tasks, label=f"sort:o{op.op_id}"
+        )
+        with maybe_span("merge", "merge", kind="ordered-runs"):
+            self.results[op.op_id] = merge_ordered_runs(runs, op.keys)
         self.report.note(
             "final", started, time.perf_counter(), workers, len(tasks),
             backend,
         )
+
+
+def _result_rows(result) -> int | None:
+    """Row count of a node result when it is a plain row list.
+
+    Staged results may instead be partition dicts or coarse partition
+    lists; those report no row count rather than a misleading one.
+    """
+    if isinstance(result, list) and (
+        not result or isinstance(result[0], tuple)
+    ):
+        return len(result)
+    return None
 
 
 def _merge_prep_partials(prep, partials: list):

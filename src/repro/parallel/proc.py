@@ -24,8 +24,10 @@ closures in the parent's context and stay on the thread backend.
 from __future__ import annotations
 
 import importlib.util
+import os
 import struct
 import threading
+import time
 from dataclasses import dataclass, field
 
 _NUM_TUPLES = struct.Struct("<I")
@@ -174,6 +176,26 @@ def run_task(
     return namespace[task.func](ctx, *task.args)
 
 
+def run_task_traced(
+    module_name: str,
+    source_path: str,
+    params: tuple,
+    task,
+):
+    """Like :func:`run_task`, wrapped with worker-side timing metadata.
+
+    Returns ``(result, pid, thread_id, started, ended)``.  Timestamps
+    are ``time.perf_counter()`` — CLOCK_MONOTONIC on the Linux targets,
+    comparable across processes — so the parent can synthesize a task
+    span on the same timeline as its own.  Submitted only when the
+    parent is actively tracing; the untraced path stays pickle-minimal.
+    """
+    started = time.perf_counter()
+    result = run_task(module_name, source_path, params, task)
+    ended = time.perf_counter()
+    return result, os.getpid(), threading.get_ident(), started, ended
+
+
 def shipped_bytes(task) -> int:
     """Approximate payload size of a task's pure-data inputs.
 
@@ -200,5 +222,6 @@ __all__ = [
     "ScanTask",
     "load_namespace",
     "run_task",
+    "run_task_traced",
     "shipped_bytes",
 ]

@@ -37,6 +37,7 @@ from typing import Any, Sequence
 
 from repro.core.engine import HiqueEngine, PreparedQuery
 from repro.errors import AdmissionError, ServiceError
+from repro.obs import current_span, default_observability
 from repro.plan.optimizer import Optimizer
 from repro.service.cache import CacheStats, PlanCache
 from repro.service.statement import PreparedStatement
@@ -174,6 +175,17 @@ class QueryService:
         self._rejected = 0
         self._pending = 0
 
+        #: Observability pair shared with the owning database (falls
+        #: back to the process-wide default for bare test harnesses).
+        self.obs = getattr(database, "obs", None) or default_observability()
+        #: Per-engine query latency histograms, cached so the hot path
+        #: pays one dict lookup instead of a registry get-or-create.
+        self._query_hist: dict[str, Any] = {}
+        self._queue_hist = self.obs.registry.histogram(
+            "repro_session_queue_seconds"
+        )
+        self.obs.registry.register_collector(self._collect_metrics)
+
         self._listener = self._on_catalog_change
         database.catalog.add_listener(self._listener)
 
@@ -261,6 +273,10 @@ class QueryService:
             if count
             else self.cache.peek(cache_key)
         )
+        if count:
+            span = current_span()
+            if span is not None:
+                span.set(cache_hit=entry is not None)
         if entry is not None:
             return entry.value
         with self._state_lock:
@@ -353,19 +369,48 @@ class QueryService:
         values = statement.resolve_params(params, allow_override)
         with self._state_lock:
             self._queries += 1
-        if statement.engine_kind in _CODEGEN_KINDS:
-            # One read scope spans plan lookup AND execution, so a
-            # concurrent DDL cannot invalidate the plan in between (its
-            # compiled module embeds table objects).
-            engine: HiqueEngine = self.database.engine(statement.engine_kind)
-            with self._gate.read():
-                plan = self._plan_under_gate(statement)
-                _check_param_values(plan.param_dtypes, values)
-                return engine.execute_prepared(plan.prepared, params=values)
-        # Interpreting engines re-bind per execution, so a stale cached
-        # AST is harmless — binding re-resolves (or rejects) the tables.
-        plan = self._ensure_plan(statement)
-        return self._execute_interpreted(statement.engine_kind, plan, values)
+        kind = statement.engine_kind
+        started = time.perf_counter()
+        try:
+            with self.obs.tracer.span(
+                "query",
+                "service",
+                engine=kind,
+                statement=statement.key[:200],
+            ) as span:
+                if kind in _CODEGEN_KINDS:
+                    # One read scope spans plan lookup AND execution, so
+                    # a concurrent DDL cannot invalidate the plan in
+                    # between (its compiled module embeds table objects).
+                    engine: HiqueEngine = self.database.engine(kind)
+                    with self._gate.read():
+                        plan = self._plan_under_gate(statement)
+                        _check_param_values(plan.param_dtypes, values)
+                        rows = engine.execute_prepared(
+                            plan.prepared, params=values
+                        )
+                else:
+                    # Interpreting engines re-bind per execution, so a
+                    # stale cached AST is harmless — binding re-resolves
+                    # (or rejects) the tables.
+                    plan = self._ensure_plan(statement)
+                    rows = self._execute_interpreted(kind, plan, values)
+                if span is not None:
+                    span.set(rows=len(rows))
+                return rows
+        finally:
+            self._query_histogram(kind).observe(
+                time.perf_counter() - started
+            )
+
+    def _query_histogram(self, kind: str):
+        hist = self._query_hist.get(kind)
+        if hist is None:
+            hist = self.obs.registry.histogram(
+                "repro_query_seconds", engine=kind
+            )
+            self._query_hist[kind] = hist
+        return hist
 
     def _execute_interpreted(
         self, kind: str, plan: _CachedPlan, values: tuple
@@ -415,6 +460,32 @@ class QueryService:
             )
         return bound.output_names()
 
+    def physical_plan(
+        self,
+        sql: str,
+        engine: str | None = None,
+        params: Sequence[Any] | None = None,
+    ):
+        """The physical plan a statement would execute (for EXPLAIN).
+
+        For the code-generating engines this is the cached prepared
+        plan; the interpreting engines re-plan with the supplied
+        parameters substituted, mirroring what execution does.
+        """
+        kind = engine or self.default_engine
+        statement = self._resolve(sql, kind)
+        plan = self._ensure_plan(statement, count=False)
+        if plan.prepared is not None:
+            return plan.prepared.plan
+        values = statement.resolve_params(params, allow_override=False)
+        built = self.database.engine(kind)
+        substituted = substitute_parameters(plan.query, values)
+        with self._gate.read():
+            bound = built.binder.bind(substituted)
+            return Optimizer(
+                self.database.catalog, built.planner_config
+            ).plan(bound)
+
     # -- concurrent sessions ---------------------------------------------------------
     def submit(
         self,
@@ -442,7 +513,10 @@ class QueryService:
             self._submitted += 1
             pool = self._ensure_pool()
         try:
-            future = pool.submit(self._run_session, sql, params, engine)
+            future = pool.submit(
+                self._run_session, sql, params, engine,
+                time.perf_counter(),
+            )
         except RuntimeError as exc:
             # close() shut the pool down between our admission check and
             # the submit; release the slot we claimed.
@@ -467,10 +541,13 @@ class QueryService:
         sql: str,
         params: Sequence[Any] | None,
         engine: str | None,
+        submitted_at: float | None = None,
     ) -> list[tuple]:
         # Counters update in the worker, *before* the future resolves:
         # a caller returning from future.result() then observes stats()
         # already settled (a done-callback would race that read).
+        if submitted_at is not None:
+            self._queue_hist.observe(time.perf_counter() - submitted_at)
         try:
             result = self.execute(sql, params, engine)
         except BaseException:
@@ -505,6 +582,50 @@ class QueryService:
             self._text_index.clear()
 
     # -- introspection -----------------------------------------------------------------
+    def _collect_metrics(self, registry) -> None:
+        """Render-time sampler: one source for ``.cache``, the shell
+        timing line and ``metrics_text()``.
+
+        Samples the authoritative structs (admission counters,
+        :class:`~repro.service.cache.CacheStats`, per-entry cache
+        stats) instead of double-counting on every update.
+        """
+        stats = self.stats()
+        registry.sample("repro_service_queries_total", stats.queries)
+        registry.sample("repro_service_text_hits_total", stats.text_hits)
+        registry.sample("repro_service_submitted_total", stats.submitted)
+        registry.sample("repro_service_completed_total", stats.completed)
+        registry.sample("repro_service_failed_total", stats.failed)
+        registry.sample("repro_service_rejected_total", stats.rejected)
+        registry.sample("repro_service_pending", stats.pending)
+        cache = stats.cache
+        registry.sample("repro_plan_cache_capacity", cache.capacity)
+        registry.sample("repro_plan_cache_size", cache.size)
+        registry.sample("repro_plan_cache_hits_total", cache.hits)
+        registry.sample("repro_plan_cache_misses_total", cache.misses)
+        registry.sample(
+            "repro_plan_cache_evictions_total", cache.evictions
+        )
+        registry.sample(
+            "repro_plan_cache_invalidations_total", cache.invalidations
+        )
+        registry.sample(
+            "repro_plan_cache_seconds_saved_total", cache.seconds_saved
+        )
+        for entry in self.cache.entries():
+            kind, key = entry.key[0], entry.key[1]
+            label = f"{kind}:{key}"[:120]
+            registry.sample(
+                "repro_plan_cache_entry_hits",
+                entry.hits,
+                statement=label,
+            )
+            registry.sample(
+                "repro_plan_cache_entry_seconds_saved",
+                entry.seconds_saved,
+                statement=label,
+            )
+
     def stats(self) -> ServiceStats:
         parallel_config = getattr(self.database, "parallel_config", None)
         with self._state_lock:
@@ -526,6 +647,7 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        self.obs.registry.unregister_collector(self._collect_metrics)
         self.database.catalog.remove_listener(self._listener)
         with self._state_lock:
             pool, self._pool = self._pool, None

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import BufferPoolError, StorageError
+from repro.obs import record_page_access
 from repro.storage.heapfile import HeapFile, MemoryFile
 from repro.storage.page import Page
 from repro.storage.schema import Schema
@@ -204,6 +205,7 @@ class BufferManager:
         if frame is None:
             return None
         self.stats.hits += 1
+        record_page_access(hit=True)
         # Move to MRU position.
         self._frames.pop(key)
         self._frames[key] = frame
@@ -224,6 +226,7 @@ class BufferManager:
                 if frame is not None:
                     return frame
                 self.stats.misses += 1
+                record_page_access(hit=False)
                 page = Page(schema, file.raw_page(page_no))
                 frame = self._install(file, page_no, page)
                 frame.zero_copy = True
@@ -236,8 +239,10 @@ class BufferManager:
                 # becomes garbage and the shared frame wins.  The read
                 # still happened, so it counts as a miss.
                 self.stats.misses += 1
+                record_page_access(hit=False)
                 return frame
             self.stats.misses += 1
+            record_page_access(hit=False)
             return self._install(file, page_no, Page(schema, data))
 
     def _install(self, file: HeapFile, page_no: int, page: Page) -> _Frame:

@@ -24,6 +24,7 @@ import time
 from typing import Iterator
 
 from repro.errors import StorageError
+from repro.obs import record_disk_read
 from repro.storage.page import PAGE_SIZE
 
 _file_ids = itertools.count(1)
@@ -146,11 +147,15 @@ class DiskFile(HeapFile):
 
     def read_page(self, page_no: int) -> bytearray:
         self._check_page_no(page_no)
+        started = time.perf_counter()
         if self.read_latency:
             time.sleep(self.read_latency)
         data = os.pread(self._fd, PAGE_SIZE, page_no * PAGE_SIZE)
         if len(data) != PAGE_SIZE:
             raise StorageError(f"short read on page {page_no}")
+        # Latency includes any modeled wait: that is the fetch time the
+        # rest of the system observes.
+        record_disk_read(time.perf_counter() - started)
         return bytearray(data)
 
     def write_page(self, page_no: int, data: bytes) -> None:
