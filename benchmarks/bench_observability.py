@@ -12,9 +12,12 @@ dominate — in three configurations:
 * **enabled** — full span recording, reported for context.
 
 The gate asserts disabled-vs-suppressed overhead below 3% (min of
-interleaved rounds on both sides, so scheduler noise cancels).  The
-run also exports a sample Chrome ``trace_event`` file from an enabled
-execution, which CI uploads as an artifact.
+interleaved rounds on both sides, so scheduler noise cancels).  A
+second pair of interleaved rounds gates the workload-insights record
+path (digest fold per execution, on by default) below 3% against the
+same workload with insights off.  The run also exports a sample Chrome
+``trace_event`` file from an enabled execution and the rendered
+insights view, which CI uploads as artifacts.
 """
 
 from __future__ import annotations
@@ -104,6 +107,17 @@ def overhead_report(obs_database):
         enabled.append(_round_seconds(statement, param_sets))
         db.set_trace(False)
 
+    # Insights rounds: tracing stays off (the shipping default); only
+    # the digest/slow-log record path toggles between the sides.
+    insights_on: list[float] = []
+    insights_off: list[float] = []
+    for _ in range(ROUNDS):
+        db.set_insights(True)
+        insights_on.append(_round_seconds(statement, param_sets))
+        db.set_insights(False)
+        insights_off.append(_round_seconds(statement, param_sets))
+    db.set_insights(True)
+
     base = min(suppressed)
     # Per-round ratios: each round interleaves the configurations, so
     # ambient load inflates numerator and denominator together; taking
@@ -115,6 +129,9 @@ def overhead_report(obs_database):
     overhead_enabled = min(
         e / s for e, s in zip(enabled, suppressed)
     ) - 1.0
+    overhead_insights = min(
+        on / off for on, off in zip(insights_on, insights_off)
+    ) - 1.0
     payload = {
         "executions_per_round": EXECUTIONS_PER_ROUND,
         "rounds": ROUNDS,
@@ -123,6 +140,9 @@ def overhead_report(obs_database):
         "enabled_seconds": min(enabled),
         "disabled_overhead": overhead_disabled,
         "enabled_overhead": overhead_enabled,
+        "insights_on_seconds": min(insights_on),
+        "insights_off_seconds": min(insights_off),
+        "insights_overhead": overhead_insights,
         "gate": OVERHEAD_GATE,
     }
 
@@ -134,6 +154,8 @@ def overhead_report(obs_database):
         ("no hooks (control)", base),
         ("tracing disabled", min(disabled)),
         ("tracing enabled", min(enabled)),
+        ("insights off", min(insights_off)),
+        ("insights on (default)", min(insights_on)),
     ):
         result.add(
             label,
@@ -147,9 +169,26 @@ def overhead_report(obs_database):
         f"path must stay within {OVERHEAD_GATE * 100:.0f}% of the "
         f"no-hook control."
     )
+    result.note(
+        f"insights on vs off measured the same way (tracing off on "
+        f"both sides); the digest record path must also stay within "
+        f"{OVERHEAD_GATE * 100:.0f}%."
+    )
     save_result(result)
     save_bench_json("BENCH_observability.json", payload)
     return payload
+
+
+@pytest.fixture(scope="module")
+def insights_artifact_path(obs_database, overhead_report):
+    """The rendered workload-insights view, exported for CI."""
+    db = obs_database
+    db.execute(JOIN_AGG_SQL)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "insights_observability.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(db.insights_text(top=10) + "\n")
+    return path
 
 
 @pytest.fixture(scope="module")
@@ -186,6 +225,21 @@ def test_disabled_overhead_under_gate(overhead_report):
     assert overhead_report["disabled_overhead"] < OVERHEAD_GATE, (
         overhead_report
     )
+
+
+def test_insights_overhead_under_gate(overhead_report):
+    """Acceptance: insights-on (the default) adds <3% on warm
+    prepared-statement throughput."""
+    assert overhead_report["insights_overhead"] < OVERHEAD_GATE, (
+        overhead_report
+    )
+
+
+def test_insights_artifact_exported(insights_artifact_path):
+    with open(insights_artifact_path, encoding="utf-8") as handle:
+        text = handle.read()
+    assert "workload insights" in text
+    assert "slow-query log" in text
 
 
 def test_sample_trace_exported(sample_trace_path):

@@ -29,6 +29,7 @@ from repro.obs import (
     Observability,
     Trace,
     Tracer,
+    WorkloadInsights,
     default_trace_enabled,
     storage_registry,
 )
@@ -81,6 +82,7 @@ class Database:
         executor: str | None = None,
         pipeline: bool | None = None,
         trace: bool | None = None,
+        insights: bool = True,
     ):
         """``max_workers`` sizes the *session* pool (concurrent queries);
         ``workers`` sizes the *morsel* pool inside one query's scan, and
@@ -98,7 +100,10 @@ class Database:
         :meth:`last_trace` and ``EXPLAIN ANALYZE``); ``None`` defers to
         the ``REPRO_TRACE`` environment flag, then off — and the
         disabled path costs one integer check per instrumentation
-        point."""
+        point.  ``insights=True`` (the default) keeps per-statement
+        workload digests and a slow-query log (``REPRO_SLOW_MS``
+        threshold); see :meth:`insights` / :meth:`insights_text` — the
+        record path is gated below 3% on warm point queries."""
         if catalog is not None:
             self.buffer = catalog.buffer
             self.catalog = catalog
@@ -135,6 +140,13 @@ class Database:
             )
         )
         self.obs.registry.register_collector(self._collect_db_metrics)
+        #: Workload insights: per-statement digests, slow-query log and
+        #: the cross-query operator profile.  Constructed eagerly (the
+        #: service picks it up lazily) so its collector and trace
+        #: listener cover the database's whole lifetime.
+        self.insights_store = WorkloadInsights(
+            obs=self.obs, enabled=insights
+        )
         # Engine-internal caches (compiled text cache, DSM copies) go
         # stale on DDL and statistics changes, same as service plans.
         self.catalog.add_listener(self._on_catalog_change)
@@ -313,6 +325,18 @@ class Database:
         """Turn per-query span recording on or off at run time."""
         self.obs.tracer.enabled = enabled
 
+    def insights(self) -> WorkloadInsights:
+        """The workload insights: digests, slow log, operator profile."""
+        return self.insights_store
+
+    def insights_text(self, top: int = 10) -> str:
+        """Top-k digest table + slow-query log + folded profile."""
+        return self.insights_store.render_text(top=top)
+
+    def set_insights(self, enabled: bool) -> None:
+        """Toggle workload-insights collection at run time."""
+        self.insights_store.enabled = enabled
+
     @property
     def trace_enabled(self) -> bool:
         return self.obs.tracer.enabled
@@ -429,6 +453,7 @@ class Database:
     # -- lifecycle -----------------------------------------------------------------------
     def close(self) -> None:
         """Shut down the service and release engine resources."""
+        self.insights_store.close()
         self.obs.registry.unregister_collector(self._collect_db_metrics)
         self.catalog.remove_listener(self._on_catalog_change)
         if self._service is not None:

@@ -42,6 +42,14 @@ executed through ``.prepare`` / ``.exec``.  Meta-commands:
   and a span summary of the last trace
 * ``.metrics`` — dump all counters, gauges and latency histograms in
   Prometheus text format
+* ``.insights [n|reset]`` — workload insights: the top-n statement
+  digests (calls, errors, watchdog timeouts, mean/p95 latency, rows,
+  plan-cache hit rate, backend), the slow-query log summary and the
+  cross-query operator profile folded from recorded traces; ``reset``
+  clears all three
+* ``.slow [n|clear]`` — the n slowest queries over the
+  ``REPRO_SLOW_MS`` threshold (default 100 ms), with span counts when
+  tracing captured their trees; ``clear`` empties the log
 * ``.quit`` — exit
 """
 
@@ -234,6 +242,10 @@ class Shell:
             self._trace(argument)
         elif command == ".metrics":
             self.write(self.db.metrics_text())
+        elif command == ".insights":
+            self._insights(argument)
+        elif command == ".slow":
+            self._slow(argument)
         else:
             self.write(f"unknown command {command}; try .help")
         return True
@@ -339,6 +351,35 @@ class Shell:
                 )
         else:
             self.write("usage: .trace [on|off|save <path>]")
+
+    def _insights(self, argument: str) -> None:
+        if argument == "reset":
+            self.db.insights().reset()
+            self.write("workload insights reset")
+            return
+        top = 10
+        if argument:
+            try:
+                top = max(1, int(argument))
+            except ValueError:
+                self.write("usage: .insights [n|reset]")
+                return
+        self.write(self.db.insights_text(top=top))
+
+    def _slow(self, argument: str) -> None:
+        log = self.db.insights().slow
+        if argument == "clear":
+            log.clear()
+            self.write("slow-query log cleared")
+            return
+        limit = 10
+        if argument:
+            try:
+                limit = max(1, int(argument))
+            except ValueError:
+                self.write("usage: .slow [n|clear]")
+                return
+        self.write(log.render_text(limit=limit))
 
     def _run_sql(self, sql: str) -> None:
         head = sql.split(None, 2)

@@ -71,6 +71,16 @@ class ExecutionError(ReproError):
     """Raised when a compiled query fails at run time."""
 
 
+class WatchdogTimeout(ExecutionError):
+    """Raised when the stall watchdog abandons a wedged parallel task.
+
+    Distinct from a generic :class:`ExecutionError` so the service
+    layer can attribute the failure to the statement's digest as a
+    watchdog abandonment (a wedged query must be visible in
+    per-statement accounting, not only as a metrics event).
+    """
+
+
 class ServiceError(ReproError):
     """Raised by the query service layer (sessions, prepared statements)."""
 

@@ -17,7 +17,14 @@ from __future__ import annotations
 
 import os
 
+from repro.obs.insights import (
+    SLOW_MS_ENV,
+    DigestStore,
+    SlowQueryLog,
+    WorkloadInsights,
+)
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.profile import ProfileAggregator
 from repro.obs.trace import (
     Span,
     Trace,
@@ -31,6 +38,7 @@ from repro.obs.trace import (
 __all__ = [
     "Observability",
     "TRACE_ENV",
+    "SLOW_MS_ENV",
     "default_observability",
     "default_trace_enabled",
     "storage_registry",
@@ -43,6 +51,10 @@ __all__ = [
     "maybe_span",
     "record_page_access",
     "suppress_overhead_probe",
+    "DigestStore",
+    "ProfileAggregator",
+    "SlowQueryLog",
+    "WorkloadInsights",
 ]
 
 #: Environment knob: ``REPRO_TRACE=1`` enables tracing everywhere a

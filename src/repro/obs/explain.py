@@ -108,8 +108,24 @@ def _annotate(span: Span) -> str:
     if shipped:
         parts.append(f"shipped={shipped}B")
     if span.pages_hit or span.pages_missed:
-        parts.append(f"pages={span.pages_hit}hit/{span.pages_missed}miss")
+        parts.append(
+            f"pages={span.pages_hit}hit/{span.pages_missed}miss"
+            f" ({_hit_rate(span.pages_hit, span.pages_missed)} hit)"
+        )
+    if span.attrs.get("serial"):
+        reason = span.attrs.get("serial_reason", "")
+        flag = "serial-fallback"
+        if reason:
+            flag += f"[{reason}]"
+        parts.append(flag)
     return "  (" + " ".join(parts) + ")"
+
+
+def _hit_rate(hits: int, misses: int) -> str:
+    total = hits + misses
+    if not total:
+        return "-%"
+    return f"{hits * 100.0 / total:.0f}%"
 
 
 def _page_totals(root: Span) -> tuple[int, int]:
@@ -156,7 +172,10 @@ def render_explain_analyze(plan: PhysicalPlan, trace: Trace) -> str:
         summary.append(f"rows={rows}")
     hits, misses = _page_totals(root)
     if hits or misses:
-        summary.append(f"buffer={hits}hit/{misses}miss")
+        summary.append(
+            f"buffer={hits}hit/{misses}miss "
+            f"({_hit_rate(hits, misses)} hit)"
+        )
     lines.append("")
     lines.append("; ".join(summary))
 

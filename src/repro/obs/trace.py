@@ -378,8 +378,34 @@ class Tracer:
         self._enabled = False
         self._lock = threading.Lock()
         self.traces: deque[Trace] = deque(maxlen=self.MAX_TRACES)
+        #: Called with each finished root trace (workload profiling).
+        #: Listener exceptions are swallowed and counted: observability
+        #: must never fail the query it observed.
+        self._listeners: list = []
+        self.listener_errors = 0
         if enabled:
             self.enabled = True
+
+    # -- trace listeners -----------------------------------------------------
+    def add_trace_listener(self, listener) -> None:
+        """Register a callable invoked with every finished root trace."""
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def remove_trace_listener(self, listener) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _notify(self, trace: "Trace") -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(trace)
+            except Exception:
+                self.listener_errors += 1
 
     # -- enablement ----------------------------------------------------------
     @property
@@ -431,6 +457,7 @@ class Tracer:
                 trace.finish()
                 with self._lock:
                     self.traces.append(trace)
+                self._notify(trace)
 
     def last_trace(self) -> Trace | None:
         with self._lock:

@@ -47,7 +47,7 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, WatchdogTimeout
 from repro.obs import current_span
 from repro.parallel import proc
 from repro.parallel.morsel import TaskDispatcher
@@ -269,8 +269,8 @@ class ThreadBackend:
         with self._completed_lock:
             self._completed += 1
 
-    def _timeout_error(self) -> ExecutionError:
-        return ExecutionError(
+    def _timeout_error(self) -> WatchdogTimeout:
+        return WatchdogTimeout(
             f"parallel task exceeded task_timeout={self.task_timeout}s "
             f"on the thread backend; worker threads cannot be killed, "
             f"so the stalled pool was abandoned and the next parallel "
@@ -554,7 +554,7 @@ class ProcessBackend:
                         task_timeout=self.task_timeout,
                         wedged_tasks=[index],
                     )
-                raise ExecutionError(
+                raise WatchdogTimeout(
                     f"parallel task exceeded task_timeout="
                     f"{self.task_timeout}s on the process backend; "
                     f"worker pool terminated"

@@ -187,6 +187,13 @@ class _Report:
     )
 
     def skip(self, reason: str) -> None:
+        # When tracing, mark the scheduling node so EXPLAIN ANALYZE can
+        # flag the serial fallback per operator, not just in run notes.
+        # Run-level skips (backend fallback) happen under the engine's
+        # execute span, which the category guard excludes.
+        span = current_span()
+        if span is not None and span.category == "node":
+            span.set(serial=True, serial_reason=reason[:160])
         with self._lock:
             if reason not in self.skips:
                 self.skips.append(reason)

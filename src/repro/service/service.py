@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.engine import HiqueEngine, PreparedQuery
-from repro.errors import AdmissionError, ServiceError
+from repro.errors import AdmissionError, ServiceError, WatchdogTimeout
 from repro.obs import current_span, default_observability
 from repro.plan.optimizer import Optimizer
 from repro.service.cache import CacheStats, PlanCache
@@ -69,6 +69,10 @@ class ServiceStats:
     #: ("thread" or "process") — operators reading service stats see at
     #: a glance which substrate their sessions' parallel phases run on.
     executor: str = "thread"
+    #: Queries the stall watchdog aborted (a wedged parallel task).
+    #: Surfaced here *and* per digest, so a wedged statement is visible
+    #: in per-statement accounting, not only as a metrics event.
+    watchdog_abandonments: int = 0
 
 
 @dataclass
@@ -174,6 +178,15 @@ class QueryService:
         self._failed = 0
         self._rejected = 0
         self._pending = 0
+        self._watchdog = 0
+
+        #: Workload insights (digest store + slow-query log), owned by
+        #: the database; None for bare test harnesses without one.
+        self.insights = getattr(database, "insights_store", None)
+        #: Per-thread scratch: the plan-cache outcome of the execution
+        #: running on this thread, captured even when tracing is off so
+        #: the digest store can count cache hits.
+        self._local = threading.local()
 
         #: Observability pair shared with the owning database (falls
         #: back to the process-wide default for bare test harnesses).
@@ -274,6 +287,7 @@ class QueryService:
             else self.cache.peek(cache_key)
         )
         if count:
+            self._local.cache_hit = entry is not None
             span = current_span()
             if span is not None:
                 span.set(cache_hit=entry is not None)
@@ -370,6 +384,15 @@ class QueryService:
         with self._state_lock:
             self._queries += 1
         kind = statement.engine_kind
+        insights = self.insights
+        record = insights is not None and insights.enabled
+        pages_before: tuple[int, int] | None = None
+        if record:
+            self._local.cache_hit = None
+            pages_before = self._buffer_pages()
+        span_obj = None
+        rows_out: list[tuple] | None = None
+        error: BaseException | None = None
         started = time.perf_counter()
         try:
             with self.obs.tracer.span(
@@ -378,6 +401,7 @@ class QueryService:
                 engine=kind,
                 statement=statement.key[:200],
             ) as span:
+                span_obj = span
                 if kind in _CODEGEN_KINDS:
                     # One read scope spans plan lookup AND execution, so
                     # a concurrent DDL cannot invalidate the plan in
@@ -397,11 +421,94 @@ class QueryService:
                     rows = self._execute_interpreted(kind, plan, values)
                 if span is not None:
                     span.set(rows=len(rows))
+                rows_out = rows
                 return rows
+        except BaseException as exc:
+            error = exc
+            raise
         finally:
-            self._query_histogram(kind).observe(
-                time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self._query_histogram(kind).observe(elapsed)
+            if isinstance(error, WatchdogTimeout):
+                with self._state_lock:
+                    self._watchdog += 1
+            if record:
+                self._record_insights(
+                    insights,
+                    statement,
+                    kind,
+                    elapsed,
+                    rows_out,
+                    error,
+                    span_obj,
+                    pages_before,
+                )
+
+    def _buffer_pages(self) -> tuple[int, int] | None:
+        """(hits, misses) of the database's buffer pool, if reachable."""
+        buffer = getattr(self.database, "buffer", None)
+        if buffer is None:
+            return None
+        stats = buffer.stats
+        return stats.hits, stats.misses
+
+    def _record_insights(
+        self,
+        insights,
+        statement: PreparedStatement,
+        kind: str,
+        elapsed: float,
+        rows: list[tuple] | None,
+        error: BaseException | None,
+        span,
+        pages_before: tuple[int, int] | None,
+    ) -> None:
+        """Fold one finished execution into the workload insights.
+
+        Buffer traffic comes from the span tree when tracing recorded
+        one (exact per query); otherwise from the buffer pool's global
+        counters, whose delta is exact for a single session and only
+        approximate under concurrent queries.  Never raises: a failure
+        here is counted, not allowed to fail the observed query.
+        """
+        try:
+            pages_hit = pages_missed = 0
+            if span is not None:
+                for node in span.walk():
+                    pages_hit += node.pages_hit
+                    pages_missed += node.pages_missed
+            elif pages_before is not None:
+                pages_after = self._buffer_pages()
+                if pages_after is not None:
+                    pages_hit = max(0, pages_after[0] - pages_before[0])
+                    pages_missed = max(
+                        0, pages_after[1] - pages_before[1]
+                    )
+            backend = ""
+            if error is None:
+                getter = getattr(self.database, "last_exec_stats", None)
+                stats = getter(kind) if callable(getter) else None
+                if stats is not None:
+                    backend = (
+                        stats.backend if stats.parallel else "serial"
+                    )
+            insights.record(
+                kind,
+                statement.key,
+                elapsed,
+                rows=len(rows) if rows is not None else 0,
+                error=error,
+                watchdog=isinstance(error, WatchdogTimeout),
+                cache_hit=getattr(self._local, "cache_hit", None),
+                pages_hit=pages_hit,
+                pages_missed=pages_missed,
+                backend=backend,
+                trace=span.trace if span is not None else None,
             )
+        except Exception:
+            self.obs.registry.counter(
+                "repro_insights_record_errors_total"
+            ).inc()
 
     def _query_histogram(self, kind: str):
         hist = self._query_hist.get(kind)
@@ -580,6 +687,10 @@ class QueryService:
         self.cache.invalidate()
         with self._state_lock:
             self._text_index.clear()
+        # Digests describe executions of the invalidated plans; reset
+        # them with the same blanket policy the plan cache uses.
+        if self.insights is not None:
+            self.insights.on_catalog_change()
 
     # -- introspection -----------------------------------------------------------------
     def _collect_metrics(self, registry) -> None:
@@ -598,6 +709,10 @@ class QueryService:
         registry.sample("repro_service_failed_total", stats.failed)
         registry.sample("repro_service_rejected_total", stats.rejected)
         registry.sample("repro_service_pending", stats.pending)
+        registry.sample(
+            "repro_service_watchdog_abandonments_total",
+            stats.watchdog_abandonments,
+        )
         cache = stats.cache
         registry.sample("repro_plan_cache_capacity", cache.capacity)
         registry.sample("repro_plan_cache_size", cache.size)
@@ -639,6 +754,7 @@ class QueryService:
                 pending=self._pending,
                 cache=self.cache.stats(),
                 executor=getattr(parallel_config, "executor", "thread"),
+                watchdog_abandonments=self._watchdog,
             )
 
     # -- lifecycle ---------------------------------------------------------------------
