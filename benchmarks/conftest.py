@@ -44,6 +44,22 @@ def save_result(result: ExperimentResult) -> None:
 HISTORY_LIMIT = 50
 
 
+def host_fingerprint() -> dict:
+    """The hardware/runtime facts that make bench numbers comparable.
+
+    Stamped into every ``BENCH_*.json`` run so the regression gate
+    (``repro.obs.regress``) can skip history entries recorded on
+    incomparably sized hosts — a 2-core CI runner's parallel speedups
+    say nothing about an 8-core one's.
+    """
+    import multiprocessing
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "start_methods": multiprocessing.get_all_start_methods(),
+    }
+
+
 def save_bench_json(filename: str, payload: dict) -> dict:
     """Persist a ``BENCH_*.json`` artifact with run-over-run history.
 
@@ -51,7 +67,9 @@ def save_bench_json(filename: str, payload: dict) -> dict:
     ``test_report_written`` checks read them there); the previous run's
     snapshot is appended to a bounded ``history`` list, and any metric
     present in both runs is printed as a comparison so a regression is
-    visible straight in the bench log.
+    visible straight in the bench log.  Each run also records a
+    ``host`` fingerprint (CPU count, available process start methods)
+    so downstream gates can filter history by host comparability.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, filename)
@@ -68,6 +86,7 @@ def save_bench_json(filename: str, payload: dict) -> dict:
             history = [h for h in raw if isinstance(h, dict)]
             previous = {k: v for k, v in old.items() if k != "history"}
     out = dict(payload)
+    out["host"] = host_fingerprint()
     out["recorded_at"] = (
         datetime.datetime.now(datetime.timezone.utc)
         .strftime("%Y-%m-%dT%H:%M:%SZ")

@@ -37,6 +37,7 @@ from repro.obs.explain import render_explain_analyze
 from repro.parallel.executor import ParallelExecutor
 from repro.parallel.stats import (
     EXECUTOR_KINDS,
+    PLACEMENT_KINDS,
     ExecutionStats,
     ParallelConfig,
     default_executor,
@@ -80,6 +81,7 @@ class Database:
         workers: int = 4,
         parallel: bool = True,
         executor: str | None = None,
+        placement: str | None = None,
         pipeline: bool | None = None,
         trace: bool | None = None,
         insights: bool = True,
@@ -92,7 +94,14 @@ class Database:
         ``"process"`` (process pool re-importing generated modules, best
         for CPU-bound in-memory phases); ``None`` defers to the
         ``REPRO_EXECUTOR`` environment variable, then ``"thread"``.
-        ``pipeline=True`` turns on dependency-driven cross-phase
+        ``placement`` picks the per-batch placement policy —
+        ``"thread"``/``"process"`` force one backend for every batch,
+        ``"auto"`` routes each node's batches through the adaptive
+        cost model (mixed thread/process placement inside one query;
+        rows stay byte-identical); ``None`` defers to the
+        ``REPRO_PLACEMENT`` environment variable, then follows
+        ``executor``.  ``pipeline=True`` turns on dependency-driven
+        cross-phase
         scheduling (operators launch as their inputs complete instead
         of at phase barriers; rows stay byte-identical); ``None`` defers
         to the ``REPRO_PIPELINE`` environment flag, then off.
@@ -119,6 +128,8 @@ class Database:
             if executor is None:
                 executor = default_executor()
             knobs: dict[str, Any] = {}
+            if placement is not None:
+                knobs["placement"] = placement
             if pipeline is not None:
                 knobs["pipeline"] = pipeline
             self.parallel_config = ParallelConfig(
@@ -191,19 +202,23 @@ class Database:
     def _build_engine(self, kind: str):
         config = self.planner_config
         if kind == "hique":
-            return HiqueEngine(
-                self.catalog,
-                planner_config=config,
-                parallel=self.parallel_config,
-                obs=self.obs,
+            return self._wire_profile_source(
+                HiqueEngine(
+                    self.catalog,
+                    planner_config=config,
+                    parallel=self.parallel_config,
+                    obs=self.obs,
+                )
             )
         if kind == "hique-o0":
-            return HiqueEngine(
-                self.catalog,
-                planner_config=config,
-                opt_level="O0",
-                parallel=self.parallel_config,
-                obs=self.obs,
+            return self._wire_profile_source(
+                HiqueEngine(
+                    self.catalog,
+                    planner_config=config,
+                    opt_level="O0",
+                    parallel=self.parallel_config,
+                    obs=self.obs,
+                )
             )
         if kind == "volcano":
             return VolcanoEngine(
@@ -223,6 +238,19 @@ class Database:
             self.catalog, planner_config=config, obs=self.obs
         )
 
+    def _wire_profile_source(self, engine):
+        """Point an engine's scheduler at the cross-query profile.
+
+        Adaptive placement then seeds its cost model from observed
+        per-operator rates (``.insights`` profile) instead of static
+        priors alone.
+        """
+        if engine.parallel is not None:
+            engine.parallel.profile_source = (
+                self.insights_store.profile.kind_totals
+            )
+        return engine
+
     # -- parallelism knobs ---------------------------------------------------------------
     def set_parallel(
         self,
@@ -233,6 +261,7 @@ class Database:
         min_rows: int | None = None,
         allow_float_reorder: bool | None = None,
         executor: str | None = None,
+        placement: str | None = None,
         task_timeout: float | None = None,
         pipeline: bool | None = None,
     ) -> ParallelConfig:
@@ -244,12 +273,23 @@ class Database:
         pool with the configuration they started with.  Switching
         ``executor`` retires the old backend's pools too, so a database
         can hop between the thread and process backends mid-session;
-        ``pipeline`` toggles dependency-driven cross-phase scheduling.
+        ``placement`` picks the per-batch policy (``"thread"``,
+        ``"process"``, ``"auto"`` for the adaptive chooser, or ``""``
+        to follow ``executor``); ``pipeline`` toggles dependency-driven
+        cross-phase scheduling.
         """
         if executor is not None and executor not in EXECUTOR_KINDS:
             raise ReproError(
                 f"unknown executor {executor!r}; "
                 f"choose from {EXECUTOR_KINDS}"
+            )
+        if placement is not None and placement != "" and (
+            placement not in PLACEMENT_KINDS
+        ):
+            raise ReproError(
+                f"unknown placement {placement!r}; "
+                f"choose from {PLACEMENT_KINDS} (or '' to follow the "
+                f"executor knob)"
             )
         current = self.parallel_config
         self.parallel_config = ParallelConfig(
@@ -262,6 +302,9 @@ class Database:
             enabled=enabled if enabled is not None else current.enabled,
             executor=(
                 executor if executor is not None else current.executor
+            ),
+            placement=(
+                placement if placement is not None else current.placement
             ),
             task_timeout=(
                 task_timeout
@@ -292,6 +335,7 @@ class Database:
                     engine.parallel = ParallelExecutor(
                         self.parallel_config, obs=self.obs
                     )
+                    self._wire_profile_source(engine)
         return self.parallel_config
 
     def last_exec_stats(self, engine: str = "hique") -> ExecutionStats | None:

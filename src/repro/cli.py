@@ -25,6 +25,12 @@ executed through ``.prepare`` / ``.exec``.  Meta-commands:
   ships CPU-bound O2 tasks to a pool of worker processes that
   re-import the generated module (O0 plans fall back to threads); with
   no argument, show the current backend
+* ``.placement [thread|process|auto]`` — pick the per-batch placement
+  policy: ``thread``/``process`` force every batch onto one backend,
+  ``auto`` routes each node's batches through the adaptive cost model
+  (CPU-bound joins/aggregates ship to processes while latency-bound
+  scans stay on threads, mixed inside one query; rows stay
+  byte-identical); with no argument, show the current policy
 * ``.parallel [on|off]`` — toggle morsel-driven parallel execution; with
   no argument, show the configuration and the last execution's
   per-phase (stage/join/aggregate/final) breakdown
@@ -179,6 +185,28 @@ class Shell:
                 )
             else:
                 self.write("usage: .executor [thread|process]")
+        elif command == ".placement":
+            if argument in ("thread", "process", "auto"):
+                config = self.db.set_parallel(placement=argument)
+                self.write(
+                    f"batch placement set to {config.placement}"
+                    + (
+                        " (adaptive cost-model routing)"
+                        if config.placement == "auto"
+                        else ""
+                    )
+                )
+            elif argument == "":
+                config = self.db.parallel_config
+                policy = config.placement or (
+                    f"follows executor ({config.executor})"
+                )
+                self.write(
+                    f"batch placement: {policy} "
+                    f"(.placement thread|process|auto to switch)"
+                )
+            else:
+                self.write("usage: .placement [thread|process|auto]")
         elif command == ".parallel":
             if argument in ("on", "off"):
                 config = self.db.set_parallel(enabled=argument == "on")

@@ -104,6 +104,16 @@ def _annotate(span: Span) -> str:
             parts.append(f"backend={backend}")
         if len(pids) > 1 or (pids and pids[0] != span.pid):
             parts.append("pids=" + ",".join(str(p) for p in pids))
+    placement = span.attrs.get("placement")
+    if placement:
+        flag = f"placement={placement}"
+        reason = span.attrs.get("placement_reason", "")
+        if reason:
+            flag += f"[{reason}]"
+        parts.append(flag)
+    steals = span.attrs.get("affinity_steals")
+    if steals is not None:
+        parts.append(f"steals={steals}")
     shipped = span.attrs.get("shipped_bytes")
     if shipped:
         parts.append(f"shipped={shipped}B")

@@ -57,6 +57,7 @@ GATED_METRICS: dict[str, tuple[tuple[str, bool, bool], ...]] = {
         ("disabled_overhead", False, False),
         ("insights_overhead", False, False),
     ),
+    "BENCH_scheduler.json": (("mixed_speedup", True, True),),
 }
 
 
@@ -100,9 +101,33 @@ class MetricCheck:
         return "ok"
 
 
+def _comparable_host(entry: dict, current_host) -> bool:
+    """Whether a history entry's host can be compared with this run's.
+
+    Parallel speedups scale with core count, so comparing a run from a
+    2-core box against an 8-core median manufactures regressions (or
+    hides real ones).  An entry only gates when its recorded
+    ``host.cpu_count`` matches the current run's; entries written
+    before hosts were stamped (no ``host`` key) stay included, as does
+    everything when the current run itself carries no fingerprint.
+    """
+    if not isinstance(current_host, dict):
+        return True
+    cpu_count = current_host.get("cpu_count")
+    if cpu_count is None:
+        return True
+    host = entry.get("host")
+    if not isinstance(host, dict):
+        return True
+    return host.get("cpu_count") in (None, cpu_count)
+
+
 def _history_values(payload: dict, metric: str) -> list[float]:
+    current_host = payload.get("host")
     values: list[float] = []
     for entry in payload.get("history", []):
+        if not _comparable_host(entry, current_host):
+            continue
         value = entry.get(metric)
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             values.append(float(value))

@@ -32,6 +32,7 @@ from repro.parallel.merge import (
 )
 from repro.parallel.morsel import (
     DEFAULT_MORSEL_PAGES,
+    AffinityDispatcher,
     Morsel,
     MorselDispatcher,
     TaskDispatcher,
@@ -40,25 +41,36 @@ from repro.parallel.morsel import (
 )
 from repro.parallel.stats import (
     EXECUTOR_KINDS,
+    EXECUTOR_MIXED,
     EXECUTOR_PROCESS,
     EXECUTOR_THREAD,
+    PLACEMENT_AUTO,
+    PLACEMENT_KINDS,
     ExecutionStats,
     ParallelConfig,
     PhaseStats,
 )
 
 __all__ = [
+    "AffinityDispatcher",
+    "BackendRetired",
+    "CostModel",
     "DEFAULT_MORSEL_PAGES",
     "Desc",
     "EXECUTOR_KINDS",
+    "EXECUTOR_MIXED",
     "EXECUTOR_PROCESS",
     "EXECUTOR_THREAD",
     "ExecutionStats",
     "Morsel",
     "MorselDispatcher",
+    "PLACEMENT_AUTO",
+    "PLACEMENT_KINDS",
     "ParallelConfig",
     "ParallelExecutor",
+    "PartitionHandoff",
     "PhaseStats",
+    "PlacementDecision",
     "ProcessBackend",
     "ReadWriteLatch",
     "TaskDispatcher",
@@ -75,15 +87,28 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # ``executor``/``backend`` pull in the core/errors stack; importing
-    # them here eagerly would cycle through storage → parallel → core →
-    # storage.
-    if name in ("ParallelExecutor", "merge_aggregate_partials"):
+    # ``executor``/``backend``/``cost`` pull in the core/errors stack;
+    # importing them here eagerly would cycle through storage →
+    # parallel → core → storage.
+    if name in (
+        "ParallelExecutor",
+        "PartitionHandoff",
+        "merge_aggregate_partials",
+    ):
         from repro.parallel import executor
 
         return getattr(executor, name)
-    if name in ("ProcessBackend", "TaskNotPicklable", "ThreadBackend"):
+    if name in (
+        "BackendRetired",
+        "ProcessBackend",
+        "TaskNotPicklable",
+        "ThreadBackend",
+    ):
         from repro.parallel import backend
 
         return getattr(backend, name)
+    if name in ("CostModel", "PlacementDecision"):
+        from repro.parallel import cost
+
+        return getattr(cost, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -50,7 +50,7 @@ from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from repro.errors import ExecutionError, WatchdogTimeout
 from repro.obs import current_span
 from repro.parallel import proc
-from repro.parallel.morsel import TaskDispatcher
+from repro.parallel.morsel import AffinityDispatcher, TaskDispatcher
 
 #: Environment override for the multiprocessing start method.  The
 #: default prefers ``fork`` (cheap workers that inherit the imported
@@ -129,13 +129,21 @@ class ThreadBackend:
         :meth:`close`, so a task is never submitted to a pool that has
         been retired.
         """
+        return self.submit_each([fn] * count)
+
+    def submit_each(self, fns: list) -> list:
+        """Like :meth:`submit` for a list of distinct callables.
+
+        Used by affinity-aware batches, whose claim loops are
+        slot-specific (worker ``k`` prefers partition ``k``'s queue).
+        """
         with self._lock:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self._slots,
                     thread_name_prefix="repro-morsel",
                 )
-            return [self._pool.submit(fn) for _ in range(count)]
+            return [self._pool.submit(fn) for fn in fns]
 
     def drain_futures(
         self,
@@ -292,24 +300,39 @@ class ThreadBackend:
             pool.shutdown(wait=False)
 
     def run_thunks(
-        self, thunks: list, workers: int, label: str | None = None
+        self,
+        thunks: list,
+        workers: int,
+        label: str | None = None,
+        affinity: list | None = None,
     ) -> tuple[list, int]:
         """Run zero-arg callables on the pool; results in task order.
 
         Workers claim indices from a :class:`TaskDispatcher`, so a slow
         task never stalls the queue behind it.  ``label`` names the
         scheduling node in watchdog diagnostics.
+
+        ``affinity`` (one partition id per thunk) switches claiming to
+        an :class:`AffinityDispatcher`: worker ``k`` sticks to
+        partition ``k``'s tasks and steals from the fullest other
+        queue when its own runs dry.  Results are still keyed by task
+        index, so claim order never affects output order.
         """
-        dispatcher = TaskDispatcher(len(thunks))
         out: list = [None] * len(thunks)
         workers = min(workers, len(thunks))
+        if affinity is not None and workers > 1:
+            dispatcher = AffinityDispatcher(
+                len(thunks), affinity, workers
+            )
+        else:
+            dispatcher = TaskDispatcher(len(thunks))
         # Claimed-but-unfinished indices; set add/discard are GIL-atomic
         # so the watchdog can snapshot wedged tasks without a lock.
         in_flight: set[int] = set()
 
-        def drain() -> None:
+        def drain(slot: int) -> None:
             while True:
-                index = dispatcher.next()
+                index = dispatcher.next(slot)
                 if index is None:
                     return
                 in_flight.add(index)
@@ -319,11 +342,20 @@ class ThreadBackend:
 
         try:
             self.drain_futures(
-                self.submit(drain, workers),
+                self.submit_each(
+                    [
+                        (lambda slot=slot: drain(slot))
+                        for slot in range(workers)
+                    ]
+                ),
                 progress=True,
                 label=label,
                 in_flight=in_flight,
             )
+            if isinstance(dispatcher, AffinityDispatcher):
+                span = current_span()
+                if span is not None:
+                    span.set(affinity_steals=dispatcher.steals)
         except BaseException:
             # Poison the queue so surviving claim workers stop after
             # their current thunk instead of executing the rest of a
@@ -374,6 +406,18 @@ class ProcessBackend:
         self._completed = 0
 
     # -- pool lifecycle -----------------------------------------------------------
+    @property
+    def warm(self) -> bool:
+        """Whether the worker pool already exists.
+
+        The placement cost model charges a cold backend a one-off
+        spin-up penalty, so the first process-routed batch must
+        genuinely beat the thread backend by more than pool creation
+        costs.
+        """
+        with self._lock:
+            return self._pool is not None
+
     @staticmethod
     def _start_method() -> str:
         import multiprocessing
@@ -637,6 +681,7 @@ def _is_pickling_failure(exc: BaseException) -> bool:
 
 
 __all__ = [
+    "BackendRetired",
     "PoolAbandoned",
     "ProcessBackend",
     "START_METHOD_ENV",

@@ -1,0 +1,283 @@
+"""Compute-per-byte cost model behind adaptive backend placement.
+
+HIQUE's generated code keeps per-tuple cost small and *predictable*,
+which is exactly what makes operator cost estimable: a task batch's
+work is roughly proportional to the bytes it touches (page bytes for
+staged scans, row-chunk/partition bytes for joins, aggregates, sorts),
+with a per-task dispatch overhead on top.  :class:`CostModel` holds
+one effective seconds-per-byte rate per ``(batch kind, backend)``
+pair:
+
+* **seeded** from static estimates — staged scans favor the thread
+  backend (page waits release the GIL and overlap, while the process
+  backend must materialize and pickle page bytes in the parent),
+  CPU-dense join/aggregate/sort batches favor the process backend
+  (the GIL serializes them on threads);
+* **refined online** — every batch the scheduler runs, on either
+  backend and under any placement, reports its measured latency back
+  through :meth:`observe`, which folds it into the rate as an
+  exponential moving average; cross-query ``obs`` operator profiles
+  can pre-seed rates for kinds this model has not run yet
+  (:meth:`refine_from_profile`).
+
+:meth:`choose` is deterministic: given a kind, payload size and task
+count it compares the two backends' estimated costs (per-task
+overheads and a one-off pool spin-up penalty included) and returns a
+:class:`PlacementDecision` with a human-readable reason — the thread
+backend wins ties and every batch below the ship floor, since keeping
+work in-process is free while shipping never is.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.parallel.proc import ScanTask, shipped_bytes
+from repro.parallel.stats import EXECUTOR_PROCESS, EXECUTOR_THREAD
+
+__all__ = [
+    "CostModel",
+    "PlacementDecision",
+    "batch_payload_bytes",
+    "cost_kind",
+]
+
+#: Payload-size estimate for a scan task whose page bytes are not
+#: materialized yet (the process backend reads them at submission
+#: time).  Matches the storage layer's page size.
+PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Where one task batch should run, and why."""
+
+    backend: str
+    reason: str
+    thread_seconds: float
+    process_seconds: float
+
+
+def batch_payload_bytes(tasks: list) -> int:
+    """Approximate bytes of work a task batch carries.
+
+    Scan tasks count page bytes (estimated from the page range when
+    the bytes are not materialized yet); call tasks reuse the process
+    backend's structural :func:`~repro.parallel.proc.shipped_bytes`
+    accounting so both backends are costed on the same scale.
+    """
+    total = 0
+    for task in tasks:
+        if isinstance(task, ScanTask):
+            if task.pages:
+                total += sum(len(page) for page in task.pages)
+            else:
+                total += (task.page_hi - task.page_lo) * PAGE_BYTES
+        else:
+            total += shipped_bytes(task)
+    return total
+
+
+def cost_kind(label: str | None) -> str:
+    """Map a batch label (``"join:o3"``) to a cost-model kind."""
+    kind = (label or "").split(":", 1)[0]
+    if kind == "join-team":
+        return "join"
+    return kind if kind in CostModel.SEEDS else "call"
+
+
+class CostModel:
+    """Learned per-kind compute-per-byte rates for both backends."""
+
+    #: Static seconds-per-byte seeds per batch kind, ``(thread,
+    #: process)``.  Absolute values only anchor the first decisions
+    #: (observations replace them); the *ratios* encode the priors:
+    #: staged scans overlap I/O on threads while the process backend
+    #: pays parent-side page reads plus pickling, and CPU-dense
+    #: batches escape the GIL on processes.
+    SEEDS: dict[str, tuple[float, float]] = {
+        "stage": (4e-9, 1.6e-8),
+        "join": (4.0e-8, 1.6e-8),
+        "aggregate": (3.0e-8, 1.4e-8),
+        "restage": (2.4e-8, 1.6e-8),
+        "sort": (3.0e-8, 1.6e-8),
+        "call": (3.0e-8, 2.0e-8),
+    }
+
+    #: Fixed per-task dispatch overheads: a thread task is a lock
+    #: acquisition and a closure call; a process task is a pickle
+    #: round-trip through the pool's call queue.
+    THREAD_TASK_SECONDS = 5e-5
+    PROCESS_TASK_SECONDS = 1.5e-3
+    #: One-off penalty when choosing the process backend would first
+    #: have to build its worker pool.
+    POOL_SPINUP_SECONDS = 0.15
+    #: Batches below this payload never ship: the serialization floor
+    #: dominates any conceivable compute win.
+    MIN_SHIP_BYTES = 64 * 1024
+    #: EMA weight of a new latency observation.
+    ALPHA = 0.35
+    #: Sane clamp for observed rates (seconds per byte).
+    RATE_MIN, RATE_MAX = 1e-12, 1.0
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rates: dict[tuple[str, str], float] = {}
+        self._samples: dict[tuple[str, str], int] = {}
+        for kind, (thread_rate, process_rate) in self.SEEDS.items():
+            self._rates[(kind, EXECUTOR_THREAD)] = thread_rate
+            self._rates[(kind, EXECUTOR_PROCESS)] = process_rate
+
+    # -- estimation -----------------------------------------------------------
+    def rate(self, kind: str, backend: str) -> float:
+        with self._lock:
+            return self._rates.get(
+                (kind, backend), self.SEEDS["call"][0]
+            )
+
+    def samples(self, kind: str, backend: str) -> int:
+        with self._lock:
+            return self._samples.get((kind, backend), 0)
+
+    def estimate(
+        self, kind: str, payload_bytes: int, tasks: int, warm: bool = True
+    ) -> tuple[float, float]:
+        """``(thread_seconds, process_seconds)`` for one batch."""
+        thread_cost = (
+            payload_bytes * self.rate(kind, EXECUTOR_THREAD)
+            + tasks * self.THREAD_TASK_SECONDS
+        )
+        process_cost = (
+            payload_bytes * self.rate(kind, EXECUTOR_PROCESS)
+            + tasks * self.PROCESS_TASK_SECONDS
+            + (0.0 if warm else self.POOL_SPINUP_SECONDS)
+        )
+        return thread_cost, process_cost
+
+    def choose(
+        self, kind: str, payload_bytes: int, tasks: int, warm: bool = True
+    ) -> PlacementDecision:
+        """Deterministically route one batch; threads win ties."""
+        thread_cost, process_cost = self.estimate(
+            kind, payload_bytes, tasks, warm
+        )
+        if payload_bytes < self.MIN_SHIP_BYTES:
+            return PlacementDecision(
+                backend=EXECUTOR_THREAD,
+                reason=(
+                    f"{payload_bytes}B batch below the "
+                    f"{self.MIN_SHIP_BYTES // 1024}KiB ship floor"
+                ),
+                thread_seconds=thread_cost,
+                process_seconds=process_cost,
+            )
+        reason = (
+            f"{kind}: est thread {thread_cost * 1000:.1f}ms vs "
+            f"process {process_cost * 1000:.1f}ms over "
+            f"{payload_bytes / 1024:.0f}KiB/{tasks} task(s)"
+        )
+        backend = (
+            EXECUTOR_PROCESS
+            if process_cost < thread_cost
+            else EXECUTOR_THREAD
+        )
+        return PlacementDecision(
+            backend=backend,
+            reason=reason,
+            thread_seconds=thread_cost,
+            process_seconds=process_cost,
+        )
+
+    # -- refinement -----------------------------------------------------------
+    def observe(
+        self,
+        kind: str,
+        backend: str,
+        payload_bytes: int,
+        tasks: int,
+        seconds: float,
+    ) -> None:
+        """Fold one measured batch latency into the backend's rate.
+
+        The per-task overhead share is subtracted first (floored at
+        10% of the measurement so a wildly overhead-dominated batch
+        still contributes a positive compute signal), and the sample
+        is clamped before the EMA so a single pathological measurement
+        cannot poison the model.
+        """
+        if payload_bytes <= 0 or seconds <= 0:
+            return
+        overhead = tasks * (
+            self.PROCESS_TASK_SECONDS
+            if backend == EXECUTOR_PROCESS
+            else self.THREAD_TASK_SECONDS
+        )
+        compute = max(seconds - overhead, seconds * 0.1)
+        sample = min(
+            max(compute / payload_bytes, self.RATE_MIN), self.RATE_MAX
+        )
+        key = (kind, backend)
+        with self._lock:
+            current = self._rates.get(key)
+            if current is None or not self._samples.get(key):
+                self._rates[key] = sample
+            else:
+                self._rates[key] = (
+                    (1.0 - self.ALPHA) * current + self.ALPHA * sample
+                )
+            self._samples[key] = self._samples.get(key, 0) + 1
+
+    def refine_from_profile(self, kind_totals) -> None:
+        """Pre-seed thread rates from cross-query operator profiles.
+
+        ``kind_totals`` is what
+        :meth:`~repro.obs.profile.ProfileAggregator.kind_totals`
+        returns: folded node spans named after operator classes.
+        Profiles do not attribute time per backend, so they only
+        replace the static seed of a ``(kind, thread)`` rate that has
+        no direct latency observations yet — direct measurements
+        always win.
+        """
+        mapping = (
+            ("ScanStage", "stage"),
+            ("MultiwayJoin", "join"),
+            ("Join", "join"),
+            ("Aggregate", "aggregate"),
+            ("Restage", "restage"),
+            ("Sort", "sort"),
+        )
+        for total in kind_totals:
+            name = getattr(total, "kind", "")
+            kind = next(
+                (model for prefix, model in mapping
+                 if name.startswith(prefix)),
+                None,
+            )
+            if kind is None:
+                continue
+            pages = getattr(total, "pages_hit", 0) + getattr(
+                total, "pages_missed", 0
+            )
+            if kind == "stage" and pages:
+                nbytes = pages * PAGE_BYTES
+            else:
+                nbytes = getattr(total, "rows", 0) * 64
+            seconds = getattr(total, "self_seconds", 0.0)
+            if nbytes <= 0 or seconds <= 0:
+                continue
+            key = (kind, EXECUTOR_THREAD)
+            with self._lock:
+                if self._samples.get(key):
+                    continue
+                self._rates[key] = min(
+                    max(seconds / nbytes, self.RATE_MIN), self.RATE_MAX
+                )
+
+    def snapshot(self) -> dict[str, float]:
+        """``"kind/backend" → rate`` view for tests and diagnostics."""
+        with self._lock:
+            return {
+                f"{kind}/{backend}": rate
+                for (kind, backend), rate in sorted(self._rates.items())
+            }

@@ -92,10 +92,16 @@ from repro.obs import (
     maybe_span,
 )
 from repro.parallel.backend import (
+    BackendRetired,
     PoolAbandoned,
     ProcessBackend,
     TaskNotPicklable,
     ThreadBackend,
+)
+from repro.parallel.cost import (
+    CostModel,
+    batch_payload_bytes,
+    cost_kind,
 )
 from repro.parallel.merge import (
     chunk_bounds,
@@ -109,8 +115,10 @@ from repro.parallel.merge import (
 from repro.parallel.morsel import coarse_morsel_pages, morsels_for
 from repro.parallel.proc import CallTask, ScanTask
 from repro.parallel.stats import (
+    EXECUTOR_MIXED,
     EXECUTOR_PROCESS,
     EXECUTOR_THREAD,
+    PLACEMENT_AUTO,
     ExecutionStats,
     ParallelConfig,
     PhaseStats,
@@ -119,6 +127,7 @@ from repro.plan.descriptors import (
     AGG_MAP,
     Aggregate,
     JOIN_HASH,
+    JOIN_HYBRID,
     JOIN_MERGE,
     JOIN_NESTED,
     Join,
@@ -176,6 +185,13 @@ class _Report:
     phases: dict[str, PhaseStats] = field(default_factory=dict)
     morsels: int = 0
     pages: int = 0
+    #: Whether the adaptive placement chooser routed this run's batches
+    #: (set once at run entry; drives mixed-backend reporting).
+    adaptive: bool = False
+    #: ``(batch kind, backend)`` → batches the chooser routed there.
+    placements: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: Partition-staged scans that published buckets incrementally.
+    handoffs: int = 0
     #: Process-backend serialization accounting for this run.
     shipped_tasks: int = 0
     shipped_bytes: int = 0
@@ -223,13 +239,26 @@ class _Report:
                 entry.seconds += seconds
                 entry.workers = max(entry.workers, workers)
                 entry.tasks += tasks
-                if backend == EXECUTOR_PROCESS:
-                    entry.backend = backend
+                if backend != entry.backend:
+                    if self.adaptive:
+                        # The chooser split this phase across backends.
+                        entry.backend = EXECUTOR_MIXED
+                    elif backend == EXECUTOR_PROCESS:
+                        entry.backend = backend
 
     def add_scan(self, morsels: int, pages: int) -> None:
         with self._lock:
             self.morsels += morsels
             self.pages += pages
+
+    def add_placement(self, kind: str, backend: str) -> None:
+        with self._lock:
+            key = (kind, backend)
+            self.placements[key] = self.placements.get(key, 0) + 1
+
+    def add_handoff(self) -> None:
+        with self._lock:
+            self.handoffs += 1
 
     def add_shipped(self, tasks: int, nbytes: int) -> None:
         with self._lock:
@@ -241,7 +270,26 @@ class _Report:
         return any(phase.workers > 1 for phase in self.phases.values())
 
     def backend_used(self) -> str:
-        """``"process"`` when any phase shipped tasks out of process."""
+        """The backend label this run reports.
+
+        ``"process"`` when any phase shipped tasks out of process;
+        under adaptive placement, ``"mixed"`` when the chooser split
+        the run's batches across both backends (serial phases, whose
+        backend field is just the thread default, do not count).
+        """
+        if self.adaptive:
+            backends = {
+                phase.backend
+                for phase in self.phases.values()
+                if phase.workers > 1
+            }
+            if EXECUTOR_MIXED in backends or (
+                EXECUTOR_THREAD in backends and EXECUTOR_PROCESS in backends
+            ):
+                return EXECUTOR_MIXED
+            if EXECUTOR_PROCESS in backends:
+                return EXECUTOR_PROCESS
+            return EXECUTOR_THREAD
         if any(
             phase.backend == EXECUTOR_PROCESS
             for phase in self.phases.values()
@@ -339,8 +387,35 @@ class ParallelExecutor:
         #: Process pool, created lazily on the first run that actually
         #: ships tasks (most queries never pay for worker processes).
         self._process: ProcessBackend | None = None
+        #: Compute-per-byte model behind ``placement="auto"``.  Owned
+        #: by the executor (not a run) so rates learned from measured
+        #: batch latencies persist across queries and reconfigures.
+        self.cost = CostModel()
+        #: Zero-arg callable yielding cross-query operator profile
+        #: totals (:meth:`~repro.obs.profile.ProfileAggregator.kind_totals`),
+        #: wired by the embedding database so the cost model starts
+        #: from observed per-operator rates instead of static seeds.
+        self.profile_source = None
+        self._profile_seeded = False
         self.parallel_runs = 0
         self.serial_runs = 0
+
+    def _seed_cost_model(self) -> None:
+        """Pre-seed cost rates from cross-query profiles, once.
+
+        Called lazily on the first adaptive run; profile totals are
+        advisory, so any failure reading them is swallowed and the
+        static seeds stand.
+        """
+        source = self.profile_source
+        if source is None or self._profile_seeded:
+            return
+        self._profile_seeded = True
+        try:
+            totals = source()
+        except Exception:  # noqa: BLE001 - profiles are advisory
+            return
+        self.cost.refine_from_profile(totals)
 
     def _new_thread_backend(self, config: ParallelConfig) -> ThreadBackend:
         return ThreadBackend(
@@ -421,28 +496,37 @@ class ParallelExecutor:
             )
 
         report = _Report()
+        placement = config.effective_placement()
         process: ProcessBackend | None = None
-        if config.executor == EXECUTOR_PROCESS:
+        chooser: CostModel | None = None
+        if placement in (EXECUTOR_PROCESS, PLACEMENT_AUTO):
+            adaptive = placement == PLACEMENT_AUTO
+            prefix = "adaptive placement: " if adaptive else ""
             if prepared.compiled.opt_level != OPT_O2:
                 # O0 generated code calls closures living in this
                 # process's context; those cannot cross a process
                 # boundary, so the whole run rides the thread backend.
                 report.skip(
-                    "O0 closure plan: process backend fell back to "
-                    "the thread backend"
+                    f"{prefix}O0 closure plan: process backend fell "
+                    "back to the thread backend"
                 )
             elif not _picklable(tuple(params)):
                 # Every shipped task carries the parameter vector; a
                 # value that refuses to pickle dooms all of them, so
                 # decide once up front instead of per batch.
                 report.skip(
-                    "unpicklable parameter vector: process backend "
-                    "fell back to the thread backend"
+                    f"{prefix}unpicklable parameter vector: process "
+                    "backend fell back to the thread backend"
                 )
             else:
                 process = self.process_backend()
+                if adaptive:
+                    chooser = self.cost
+                    report.adaptive = True
+                    self._seed_cost_model()
         scheduled = _ScheduledRun(
-            self, prepared, tuple(params), config, report, process
+            self, prepared, tuple(params), config, report, process,
+            chooser,
         )
         rows = scheduled.execute()
         elapsed = time.perf_counter() - started
@@ -466,9 +550,23 @@ class ParallelExecutor:
                 f"~{report.shipped_bytes / 1024:.0f} KiB of payloads "
                 f"serialized"
             )
+        if report.adaptive and report.placements:
+            routed = ", ".join(
+                f"{kind}→{backend}×{count}"
+                for (kind, backend), count in sorted(
+                    report.placements.items()
+                )
+            )
+            notes.append(f"adaptive placement routed {routed}")
+        if report.handoffs:
+            notes.append(
+                f"incremental partition hand-off on {report.handoffs} "
+                "staging node(s)"
+            )
         return rows, ExecutionStats(
             parallel=True,
             backend=report.backend_used(),
+            placement=placement,
             pipelined=scheduled.pipelined,
             workers=report.max_workers(),
             morsels=report.morsels,
@@ -542,6 +640,7 @@ class _ScheduledRun:
         config: ParallelConfig,
         report: _Report,
         process: ProcessBackend | None = None,
+        chooser: CostModel | None = None,
     ):
         self.executor = executor
         self.prepared = prepared
@@ -553,6 +652,9 @@ class _ScheduledRun:
         self.report = report
         #: Non-None when this run ships eligible batches out of process.
         self.process = process
+        #: Non-None when ``placement="auto"`` routes each batch through
+        #: the cost model (requires a live process backend to route to).
+        self.chooser = chooser
         self.module_spec = prepared.compiled.module_spec()
         #: Span the scheduler's node spans parent under.  Captured on
         #: the constructing thread (where the engine's execute span is
@@ -564,6 +666,15 @@ class _ScheduledRun:
         )
         #: op_id → materialized result (None for a scan fused away).
         self.results: dict[int, object] = {}
+        #: ScanStage op ids whose partition staging may publish buckets
+        #: incrementally (see :class:`PartitionHandoff`).  Only
+        #: thread-placement pipelined runs qualify: hand-off pair tasks
+        #: are blocking thunks, which cannot ship out of process.
+        self._handoff_ops: frozenset[int] = (
+            self._handoff_eligible()
+            if config.pipeline and process is None
+            else frozenset()
+        )
         #: Whether the dependency-driven driver actually ran (set by
         #: :meth:`execute`; False for single-node plans even when the
         #: config asks for pipelining).
@@ -580,7 +691,51 @@ class _ScheduledRun:
         else:
             for node in nodes:
                 node.run()
-        return self.results[self.plan.root.op_id]
+        return self._input(self.plan.root.op_id)
+
+    def _handoff_eligible(self) -> frozenset[int]:
+        """ScanStage op ids allowed to publish buckets incrementally.
+
+        Eligible: a partition-prep scan consumed by exactly one
+        :class:`Join` that walks its partitions pairwise — fine
+        partitions feeding a hash join, coarse partitions feeding a
+        hybrid join.  A self-join consuming one staging on both sides
+        appears twice in the consumers map and is naturally excluded
+        (its pair enumeration needs the whole directory at once), as
+        is anything feeding a join team, restage or aggregate.
+        """
+        consumers: dict[int, list] = {}
+        for op in self.plan.operators:
+            for input_id in op.inputs:
+                consumers.setdefault(input_id, []).append(op)
+        eligible = set()
+        for op in self.plan.operators:
+            if not isinstance(op, ScanStage):
+                continue
+            if op.prep.kind != PREP_PARTITION:
+                continue
+            users = consumers.get(op.op_id, [])
+            if len(users) != 1 or not isinstance(users[0], Join):
+                continue
+            join = users[0]
+            if op.prep.fine and join.algorithm == JOIN_HASH:
+                eligible.add(op.op_id)
+            elif not op.prep.fine and join.algorithm == JOIN_HYBRID:
+                eligible.add(op.op_id)
+        return frozenset(eligible)
+
+    def _input(self, op_id: int):
+        """One operator input, with incremental hand-offs materialized.
+
+        Most consumers need the complete staging output; a hand-off
+        reaching one of them blocks until the merge thread finishes,
+        then caches the ordinary merged result in its place.
+        """
+        value = self.results[op_id]
+        if isinstance(value, PartitionHandoff):
+            value = value.result()
+            self.results[op_id] = value
+        return value
 
     # -- the task graph ----------------------------------------------------------------
     def _build_nodes(self) -> list["_Node"]:
@@ -801,23 +956,44 @@ class _ScheduledRun:
         return lambda: fn(ctx, *task.args)
 
     def _run_batch(
-        self, tasks: list, label: str | None = None
+        self, tasks: list, label: str | None = None, affinity=None
     ) -> tuple[list, int, str]:
         """Run one phase's task batch on the active backend.
 
         Returns ``(results, workers, backend_name)`` with results in
-        task order.  A batch whose payloads refuse to pickle re-runs on
-        the thread backend — the scheduler's structure (and therefore
-        result order) is identical either way, only the substrate
-        changes.  ``label`` names the scheduling node in watchdog
-        diagnostics and task spans.
+        task order.  Under ``placement="auto"`` the cost model routes
+        the batch to whichever backend it estimates cheaper; under any
+        placement the measured batch latency feeds back into the model,
+        so forced thread/process runs calibrate later adaptive ones.
+        A batch whose payloads refuse to pickle — or whose process pool
+        was retired by a concurrent reconfigure — re-runs on the thread
+        backend: the scheduler's structure (and therefore result order)
+        is identical either way, only the substrate changes.  ``label``
+        names the scheduling node in watchdog diagnostics and task
+        spans; ``affinity`` (one partition id per task) makes thread
+        dispatch sticky per worker with stealing fallback.
         """
         node_span = current_span()
-        if self.process is not None:
+        payload = batch_payload_bytes(tasks)
+        kind = cost_kind(label)
+        cost = self.executor.cost
+        use_process = self.process is not None
+        if use_process and self.chooser is not None:
+            decision = self.chooser.choose(
+                kind, payload, len(tasks), warm=self.process.warm
+            )
+            use_process = decision.backend == EXECUTOR_PROCESS
+            if node_span is not None:
+                node_span.set(
+                    placement=decision.backend,
+                    placement_reason=decision.reason,
+                )
+        if use_process:
             try:
                 task_meta: list | None = (
                     [] if node_span is not None else None
                 )
+                started = time.perf_counter()
                 results, workers, shipped = self.process.run_batch(
                     self.module_spec,
                     self.params,
@@ -826,7 +1002,13 @@ class _ScheduledRun:
                     label=label,
                     task_meta=task_meta,
                 )
+                cost.observe(
+                    kind, EXECUTOR_PROCESS, payload, len(tasks),
+                    time.perf_counter() - started,
+                )
                 self.report.add_shipped(len(tasks), shipped)
+                if self.chooser is not None:
+                    self.report.add_placement(kind, EXECUTOR_PROCESS)
                 if node_span is not None:
                     for meta in task_meta:
                         node_span.child(
@@ -848,6 +1030,14 @@ class _ScheduledRun:
                         shipped_bytes=shipped,
                     )
                 return results, workers, EXECUTOR_PROCESS
+            except BackendRetired as exc:
+                # Subclass of TaskNotPicklable — catch it first so the
+                # note names the real cause.
+                self.report.skip(
+                    "process pool retired mid-query "
+                    f"({str(exc)[:80]}): batch re-ran on the thread "
+                    "backend"
+                )
             except TaskNotPicklable as exc:
                 self.report.skip(
                     "unpicklable task payload "
@@ -858,17 +1048,39 @@ class _ScheduledRun:
             thunks = self._traced_thunks(tasks, node_span)
         else:
             thunks = [self._thunk(task) for task in tasks]
+        started = time.perf_counter()
         results, workers = self.executor.thread_backend().run_thunks(
-            thunks, self.config.workers, label=label
+            thunks, self.config.workers, label=label, affinity=affinity
         )
+        cost.observe(
+            kind, EXECUTOR_THREAD, payload, len(tasks),
+            time.perf_counter() - started,
+        )
+        if self.chooser is not None:
+            self.report.add_placement(kind, EXECUTOR_THREAD)
         if node_span is not None:
+            if self.chooser is not None and use_process:
+                # The chooser picked the process backend but the batch
+                # fell back; report where it actually ran.
+                node_span.set(
+                    placement=EXECUTOR_THREAD,
+                    placement_reason=(
+                        "process batch fell back to the thread backend"
+                    ),
+                )
             node_span.set(
                 tasks=len(tasks), workers=workers, backend=EXECUTOR_THREAD
             )
         return results, workers, EXECUTOR_THREAD
 
     def _traced_thunks(self, tasks: list, node_span) -> list:
-        """Wrap each task thunk in a task span under the node span.
+        """Wrap each task's thunk in a task span under the node span."""
+        return self._wrap_traced(
+            [self._thunk(task) for task in tasks], node_span
+        )
+
+    def _wrap_traced(self, inners: list, node_span) -> list:
+        """Wrap raw thunks in task spans under the node span.
 
         The wrapper runs on a claim-worker thread (empty context), so
         it activates its span explicitly; the span start vs batch
@@ -876,8 +1088,7 @@ class _ScheduledRun:
         """
         submitted = time.perf_counter()
         thunks = []
-        for index, task in enumerate(tasks):
-            inner = self._thunk(task)
+        for index, inner in enumerate(inners):
 
             def run(inner=inner, index=index):
                 started = time.perf_counter()
@@ -897,11 +1108,32 @@ class _ScheduledRun:
             thunks.append(run)
         return thunks
 
+    def _run_thunks(
+        self, thunks: list, label: str | None = None
+    ) -> tuple[list, int]:
+        """Run raw thunks on the thread backend (with task spans).
+
+        The substrate for batches that exist only as live closures —
+        incremental hand-off pairs, whose thunks block on bucket
+        publication — and therefore can never ship out of process.
+        """
+        node_span = current_span()
+        if node_span is not None:
+            thunks = self._wrap_traced(thunks, node_span)
+        results, workers = self.executor.thread_backend().run_thunks(
+            thunks, self.config.workers, label=label
+        )
+        if node_span is not None:
+            node_span.set(
+                tasks=len(thunks), workers=workers, backend=EXECUTOR_THREAD
+            )
+        return results, workers
+
     def _serial(self, op) -> None:
         """Run one operator's serial generated function in plan order."""
         started = time.perf_counter()
         fn = self.namespace[self.names[op.op_id]]
-        args = [self.results[input_id] for input_id in op.inputs]
+        args = [self._input(input_id) for input_id in op.inputs]
         self.results[op.op_id] = fn(self.ctx, *args)
         self.report.note(
             _PHASE_OF[type(op)], started, time.perf_counter(), 1, 1
@@ -988,8 +1220,20 @@ class _ScheduledRun:
             )
             for morsel in morsels
         ]
+        # Page-range affinity: partition the table's page space evenly
+        # across workers and tag each morsel with its stripe, so the
+        # same worker walks the same contiguous pages on every run
+        # (sequential reads, warm buffer-pool reuse) with stealing as
+        # the skew fallback.  Process dispatch ignores the tags.
+        affinity = [
+            min(
+                morsel.page_lo * config.workers // max(table.num_pages, 1),
+                config.workers - 1,
+            )
+            for morsel in morsels
+        ]
         ordered, workers, backend = self._run_batch(
-            tasks, label=f"stage:o{op.op_id}"
+            tasks, label=f"stage:o{op.op_id}", affinity=affinity
         )
         self.report.note(
             "stage", started, time.perf_counter(), workers,
@@ -1023,6 +1267,16 @@ class _ScheduledRun:
             self.results[op.op_id] = None
             self.results[fused.op_id] = rows
             return True
+
+        if op.op_id in self._handoff_ops:
+            # Incremental hand-off: publish partition buckets as their
+            # merges finish, so the consuming join launches pair tasks
+            # on ready buckets while siblings still merge.
+            handoff = PartitionHandoff(ordered, fine=op.prep.fine)
+            handoff.start()
+            self.results[op.op_id] = handoff
+            self.report.add_handoff()
+            return False
 
         with maybe_span("merge", "merge", kind=op.prep.kind):
             self.results[op.op_id] = _merge_prep_partials(op.prep, ordered)
@@ -1064,6 +1318,11 @@ class _ScheduledRun:
             return
         left = self.results[op.left_op]
         right = self.results[op.right_op]
+        if isinstance(left, PartitionHandoff) or isinstance(
+            right, PartitionHandoff
+        ):
+            self._join_incremental(op, pair_name)
+            return
         config = self.config
         if op.algorithm in (JOIN_MERGE, JOIN_NESTED):
             total = len(left) + len(right)
@@ -1136,6 +1395,88 @@ class _ScheduledRun:
             backend,
         )
 
+    def _join_incremental(self, op: Join, pair_name: str) -> None:
+        """Hash/hybrid join consuming incrementally published buckets.
+
+        Pair tasks are blocking thunks: each waits for its own bucket
+        pair's publication, so the first pairs run while sibling
+        buckets still merge on the hand-off thread.  Task order —
+        hence output concatenation order — matches the barrier join
+        exactly; only launch timing changes.
+        """
+        left = self.results[op.left_op]
+        right = self.results[op.right_op]
+        config = self.config
+        total = _partition_rows(left) + _partition_rows(right)
+        if total < config.min_rows:
+            self.report.skip(
+                f"join input {total} rows (< min_rows {config.min_rows})"
+            )
+            self._serial(op)
+            return
+        if op.algorithm == JOIN_HASH:
+            # Serial emission order: left directory insertion order
+            # (the hand-off enumerates keys first-seen across runs,
+            # exactly like the barrier merge), skipping keys with no
+            # right-side partition.
+            left_keys = (
+                left.keys
+                if isinstance(left, PartitionHandoff)
+                else list(left)
+            )
+            right_keys = (
+                right.key_set
+                if isinstance(right, PartitionHandoff)
+                else right
+            )
+            keys = [key for key in left_keys if key in right_keys]
+            if len(keys) < 2:
+                self.report.skip("fewer than two matching fine partitions")
+                self._serial(op)
+                return
+        else:  # hybrid: corresponding coarse partitions
+            count = (
+                len(left.keys)
+                if isinstance(left, PartitionHandoff)
+                else len(left)
+            )
+            if count < 2:
+                self.report.skip("single coarse partition")
+                self._serial(op)
+                return
+            keys = list(range(count))
+
+        fn = self.namespace[pair_name]
+        ctx = self.ctx
+
+        def bucket(side, key):
+            return (
+                side.bucket(key)
+                if isinstance(side, PartitionHandoff)
+                else side[key]
+            )
+
+        thunks = [
+            (
+                lambda key=key: fn(
+                    ctx, bucket(left, key), bucket(right, key)
+                )
+            )
+            for key in keys
+        ]
+        started = time.perf_counter()
+        chunks, workers = self._run_thunks(
+            thunks, label=f"join:o{op.op_id}"
+        )
+        out: list = []
+        for chunk in chunks:
+            out.extend(chunk)
+        self.results[op.op_id] = out
+        self.report.note(
+            "join", started, time.perf_counter(), workers, len(thunks),
+            EXECUTOR_THREAD,
+        )
+
     def _multiway(self, op: MultiwayJoin) -> None:
         """Parallelize a join team as chained per-chunk/-partition tasks.
 
@@ -1149,7 +1490,7 @@ class _ScheduledRun:
         order, so team results stay byte-identical.
         """
         name = self.names[op.op_id]
-        inputs = [self.results[input_id] for input_id in op.input_ops]
+        inputs = [self._input(input_id) for input_id in op.input_ops]
         config = self.config
         if op.algorithm == JOIN_MERGE:
             total = sum(len(rows) for rows in inputs)
@@ -1232,7 +1573,7 @@ class _ScheduledRun:
             )
             self._serial(op)
             return
-        rows = self.results[op.input_op]
+        rows = self._input(op.input_op)
         if len(rows) < config.min_rows:
             self.report.skip(
                 f"aggregate input {len(rows)} rows "
@@ -1292,7 +1633,7 @@ class _ScheduledRun:
             )
             self._serial(op)
             return
-        rows = self.results[op.input_op]
+        rows = self._input(op.input_op)
         config = self.config
         if len(rows) < config.min_rows:
             self.report.skip(
@@ -1323,7 +1664,7 @@ class _ScheduledRun:
 
     # -- final phase -------------------------------------------------------------------
     def _sort(self, op: Sort) -> None:
-        rows = self.results[op.input_op]
+        rows = self._input(op.input_op)
         config = self.config
         if len(rows) < config.min_rows:
             self.report.skip(
@@ -1352,6 +1693,156 @@ class _ScheduledRun:
             "final", started, time.perf_counter(), workers, len(tasks),
             backend,
         )
+
+
+class PartitionHandoff:
+    """Incrementally merged partition-staging output.
+
+    Wraps the per-task partial partition sets of one partition-prep
+    scan and merges them bucket by bucket on a background thread,
+    publishing each bucket the moment its own merge completes — so a
+    consuming hash/hybrid join launches ``*_pair`` tasks on finished
+    buckets while sibling buckets still merge.  Key enumeration and
+    the per-bucket merges replicate
+    :func:`~repro.parallel.merge.merge_fine_partition_runs` /
+    :func:`~repro.parallel.merge.merge_partition_runs` exactly
+    (first-seen key order, adopt-the-first-run's-bucket-then-extend in
+    run order), so every bucket — and the fully merged
+    :meth:`result` — is byte-identical to the barrier merge.
+    """
+
+    def __init__(self, partials: list, fine: bool, pace=None):
+        self.partials = partials
+        self.fine = fine
+        #: Test hook: called with each key right after its bucket
+        #: publishes (lets tests pace the merge thread deterministically).
+        self._pace = pace
+        if fine:
+            # Key enumeration is cheap (dict key walks, no row moves),
+            # so consumers know the full first-seen key order up front.
+            keys: list = []
+            seen: set = set()
+            for partial in partials:
+                for key in partial:
+                    if key not in seen:
+                        seen.add(key)
+                        keys.append(key)
+            self.keys = keys
+            self.key_set = seen
+        else:
+            count = len(partials[0]) if partials else 0
+            self.keys = list(range(count))
+            self.key_set = set(self.keys)
+        # Snapshotted before any merging: the per-bucket merges extend
+        # the first run's lists *in place*, so counting the partials
+        # later would race the merge thread and double-count rows.
+        if fine:
+            self._total_rows = sum(
+                len(rows)
+                for partial in partials
+                for rows in partial.values()
+            )
+        else:
+            self._total_rows = sum(
+                len(bucket) for partial in partials for bucket in partial
+            )
+        self._merged: dict = {}
+        self._cond = threading.Condition()
+        self._error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+        self._done = False
+        self._result = None
+
+    def start(self) -> None:
+        """Begin merging buckets on a background thread."""
+        self._thread = threading.Thread(
+            target=self._merge_all, name="repro-handoff", daemon=True
+        )
+        self._thread.start()
+
+    def _merge_all(self) -> None:
+        try:
+            for key in self.keys:
+                if self.fine:
+                    bucket = None
+                    for partial in self.partials:
+                        rows = partial.get(key)
+                        if rows is None:
+                            continue
+                        if bucket is None:
+                            # Adopt the first run's bucket outright —
+                            # exactly what merge_fine_partition_runs
+                            # does (each partial is owned by one task).
+                            bucket = rows
+                        else:
+                            bucket.extend(rows)
+                else:
+                    bucket = self.partials[0][key]
+                    for partial in self.partials[1:]:
+                        bucket.extend(partial[key])
+                with self._cond:
+                    self._merged[key] = bucket
+                    self._cond.notify_all()
+                if self._pace is not None:
+                    self._pace(key)
+        except BaseException as exc:  # noqa: BLE001 - rethrown to consumers
+            with self._cond:
+                self._error = exc
+                self._cond.notify_all()
+        else:
+            with self._cond:
+                self._done = True
+                self._cond.notify_all()
+
+    def bucket(self, key):
+        """Block until ``key``'s merged bucket is published, return it."""
+        with self._cond:
+            while key not in self._merged and self._error is None:
+                self._cond.wait()
+            if key in self._merged:
+                return self._merged[key]
+            raise self._error
+
+    def merged_count(self) -> int:
+        """Buckets published so far (observability and tests)."""
+        with self._cond:
+            return len(self._merged)
+
+    def result(self):
+        """The complete merged staging output (blocks until done).
+
+        For consumers that cannot use incremental buckets (a serial
+        fallback, a restage, the plan root): identical to what the
+        barrier merge would have produced.
+        """
+        if self._result is not None:
+            return self._result
+        if self._thread is not None:
+            self._thread.join()
+        elif not self._done:
+            # Never started: merge inline on the consumer's thread.
+            self._merge_all()
+        with self._cond:
+            if self._error is not None:
+                raise self._error
+        if self.fine:
+            self._result = {key: self._merged[key] for key in self.keys}
+        else:
+            self._result = [self._merged[key] for key in self.keys]
+        return self._result
+
+    def total_rows(self) -> int:
+        """Rows across all partial runs (snapshotted pre-merge)."""
+        return self._total_rows
+
+
+def _partition_rows(value) -> int:
+    """Total rows of a (possibly still merging) partition staging."""
+    if isinstance(value, PartitionHandoff):
+        return value.total_rows()
+    if isinstance(value, dict):
+        return sum(len(rows) for rows in value.values())
+    return sum(len(rows) for rows in value)
 
 
 def _result_rows(result) -> int | None:

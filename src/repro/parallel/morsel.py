@@ -16,8 +16,9 @@ a serial scan.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 #: Default pages per morsel.  With 8 KiB pages this is 128 KiB of input
 #: per unit of work — enough to amortize dispatch, small enough to
@@ -115,8 +116,13 @@ class TaskDispatcher:
         self._next = 0
         self._lock = threading.Lock()
 
-    def next(self) -> int | None:
-        """The next unclaimed task index, or None when all are taken."""
+    def next(self, slot: int = 0) -> int | None:
+        """The next unclaimed task index, or None when all are taken.
+
+        ``slot`` identifies the claiming worker; this dispatcher is
+        slot-oblivious (pure FIFO), the parameter exists so claim loops
+        can drive it and :class:`AffinityDispatcher` interchangeably.
+        """
         with self._lock:
             if self._next >= self.count:
                 return None
@@ -133,3 +139,58 @@ class TaskDispatcher:
         """
         with self._lock:
             self._next = self.count
+
+
+class AffinityDispatcher:
+    """Sticky worker↔partition task queues with work-stealing fallback.
+
+    The page-range-affinity sibling of :class:`TaskDispatcher`: each
+    task carries a partition id (a stable function of its page range),
+    tasks queue per partition, and claim worker ``slot`` drains its own
+    partition's queue first — so across morsels *and across runs* the
+    same worker walks the same contiguous page stripes (sequential
+    reads per worker, warm buffer-pool reuse) instead of interleaving
+    claims FIFO.  When a worker's own queue runs dry it *steals* from
+    the tail of the longest other queue, so skewed stripes still
+    balance dynamically — the classic work-stealing fallback.
+
+    Result order never depends on claim order (callers key results by
+    task index), so affinity changes scheduling only, never rows.
+    """
+
+    def __init__(
+        self, count: int, partitions: Sequence[int], workers: int
+    ):
+        if count != len(partitions):
+            raise ValueError("one partition id per task is required")
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self._queues: list[deque[int]] = [
+            deque() for _ in range(workers)
+        ]
+        for index, partition in enumerate(partitions):
+            self._queues[partition % workers].append(index)
+        self._lock = threading.Lock()
+        #: Tasks claimed from another worker's queue (observability).
+        self.steals = 0
+
+    def next(self, slot: int = 0) -> int | None:
+        """The next index for worker ``slot``: own queue, then steal."""
+        with self._lock:
+            own = self._queues[slot % self.workers]
+            if own:
+                return own.popleft()
+            victim = max(self._queues, key=len)
+            if victim:
+                # Steal from the *tail*: the victim keeps draining its
+                # stripe contiguously from the head.
+                self.steals += 1
+                return victim.pop()
+            return None
+
+    def cancel(self) -> None:
+        """Poison every queue: all future :meth:`next` calls return None."""
+        with self._lock:
+            for queue in self._queues:
+                queue.clear()

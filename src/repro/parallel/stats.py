@@ -12,8 +12,24 @@ EXECUTOR_THREAD = "thread"
 EXECUTOR_PROCESS = "process"
 EXECUTOR_KINDS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
 
+#: Reported (never configured) backend of a run whose batches were
+#: split across both backends by the adaptive placement chooser.
+EXECUTOR_MIXED = "mixed"
+
+#: Placement policies selectable through ``ParallelConfig.placement``.
+#: ``"thread"``/``"process"`` force every batch onto one backend
+#: (equivalent to the legacy ``executor`` knob); ``"auto"`` routes each
+#: node's task batches independently through the cost model, enabling
+#: mixed placement inside one query.
+PLACEMENT_AUTO = "auto"
+PLACEMENT_KINDS = (EXECUTOR_THREAD, EXECUTOR_PROCESS, PLACEMENT_AUTO)
+
 #: Environment default for the task backend (``thread``/``process``).
 EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Environment default for the placement policy
+#: (``thread``/``process``/``auto``).
+PLACEMENT_ENV = "REPRO_PLACEMENT"
 
 #: Environment default for cross-phase pipelined scheduling.
 PIPELINE_ENV = "REPRO_PIPELINE"
@@ -32,6 +48,25 @@ def default_executor() -> str:
     if configured not in EXECUTOR_KINDS:
         raise ValueError(
             f"{EXECUTOR_ENV} must be one of {EXECUTOR_KINDS}, "
+            f"got {configured!r}"
+        )
+    return configured
+
+
+def default_placement() -> str:
+    """The placement policy to use when none is chosen explicitly.
+
+    Reads ``REPRO_PLACEMENT`` so deployments (and CI legs) can flip
+    every engine onto adaptive placement without touching call sites;
+    unset or empty means "follow the ``executor`` knob", preserving
+    the pre-placement behavior exactly.
+    """
+    configured = os.environ.get(PLACEMENT_ENV, "").strip().lower()
+    if not configured:
+        return ""
+    if configured not in PLACEMENT_KINDS:
+        raise ValueError(
+            f"{PLACEMENT_ENV} must be one of {PLACEMENT_KINDS}, "
             f"got {configured!r}"
         )
     return configured
@@ -85,6 +120,13 @@ class ParallelConfig:
     enabled: bool = True
     #: Task backend: ``"thread"`` (in-process pool) or ``"process"``.
     executor: str = EXECUTOR_THREAD
+    #: Placement policy: ``"thread"``/``"process"`` force one backend
+    #: for every batch, ``"auto"`` routes each node's batches through
+    #: the compute-per-byte cost model (mixed placement inside one
+    #: query), and ``""`` (the default) follows the ``executor`` knob
+    #: unchanged.  Defaults to the ``REPRO_PLACEMENT`` environment
+    #: variable, else ``""``.
+    placement: str = field(default_factory=default_placement)
     #: Dependency-driven cross-phase scheduling: operators launch the
     #: moment their inputs are complete instead of at phase barriers,
     #: so independent scans run concurrently and a CPU-bound join can
@@ -128,8 +170,21 @@ class ParallelConfig:
                 f"executor must be one of {EXECUTOR_KINDS}, "
                 f"got {self.executor!r}"
             )
+        if self.placement and self.placement not in PLACEMENT_KINDS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENT_KINDS} (or empty "
+                f"to follow the executor knob), got {self.placement!r}"
+            )
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError("task_timeout must be positive (or None)")
+
+    def effective_placement(self) -> str:
+        """The placement policy actually in force for a run.
+
+        An empty ``placement`` defers to the legacy ``executor`` knob
+        (whose values are exactly the two forced policies).
+        """
+        return self.placement or self.executor
 
 
 @dataclass
@@ -162,7 +217,11 @@ class PhaseStats:
     overlap_seconds: float = 0.0
 
     def describe(self) -> str:
-        suffix = "p" if self.backend == EXECUTOR_PROCESS else ""
+        suffix = ""
+        if self.backend == EXECUTOR_PROCESS:
+            suffix = "p"
+        elif self.backend == EXECUTOR_MIXED:
+            suffix = "m"
         base = (
             f"{self.name} {self.seconds * 1000:.1f} ms/"
             f"{self.workers}w{suffix}"
@@ -183,10 +242,14 @@ class ExecutionStats:
     """
 
     parallel: bool = False
-    #: Task backend that ran the parallel phases: ``"thread"`` or
-    #: ``"process"`` (the latter only when at least one phase actually
-    #: shipped tasks to worker processes).
+    #: Task backend that ran the parallel phases: ``"thread"``,
+    #: ``"process"`` (only when at least one phase actually shipped
+    #: tasks to worker processes), or ``"mixed"`` when the adaptive
+    #: placement chooser split one query's batches across both.
     backend: str = EXECUTOR_THREAD
+    #: Placement policy in force for this run (``"thread"``,
+    #: ``"process"`` or ``"auto"``; ``""`` for serial executions).
+    placement: str = ""
     #: True when the dependency-driven (pipelined) scheduler ran this
     #: query, i.e. operators launched as their inputs completed rather
     #: than at phase barriers.
@@ -213,6 +276,8 @@ class ExecutionStats:
                 if self.pipelined
                 else self.backend
             )
+            if self.placement == PLACEMENT_AUTO:
+                mode += ", adaptive"
             base = f"parallel: {self.workers} workers ({mode})"
             if self.morsels:
                 base += f", {self.morsels} morsels over {self.pages} pages"

@@ -3,10 +3,11 @@
 A seeded generator builds random schemas/data sets and random queries —
 filters, joins, self-joins, group-by, order-by, ``?`` parameters — and
 asserts that every engine agrees with the naive reference evaluator,
-and that the HIQUE engine's serial, thread-parallel and
-process-parallel executions (pipelined too, under ``REPRO_PIPELINE=1``)
-return *identical* row sequences (the parallel subsystem's byte-
-identity guarantee) at both optimization levels.
+and that the HIQUE engine's serial, thread-parallel,
+process-parallel and adaptive-placement executions (pipelined too,
+under ``REPRO_PIPELINE=1``) return *identical* row sequences (the
+parallel subsystem's byte-identity guarantee) at both optimization
+levels.
 
 The grammar deliberately stresses the degenerate regimes: a third
 table ``v`` is empty, one-row or three rows; filters are occasionally
@@ -358,6 +359,18 @@ def _engines(catalog: Catalog) -> dict:
             opt_level=OPT_O0,
             parallel=ParallelConfig(executor="process", **_PARALLEL),
         ),
+        # Adaptive placement: the cost model routes each batch to the
+        # thread or process backend mid-query (mixed placement).
+        "hique-o2-auto": HiqueEngine(
+            catalog,
+            opt_level=OPT_O2,
+            parallel=ParallelConfig(placement="auto", **_PARALLEL),
+        ),
+        "hique-o0-auto": HiqueEngine(
+            catalog,
+            opt_level=OPT_O0,
+            parallel=ParallelConfig(placement="auto", **_PARALLEL),
+        ),
         "volcano-generic": VolcanoEngine(catalog, generic=True),
         "volcano-optimized": VolcanoEngine(catalog),
         "systemx": VolcanoEngine(catalog, buffered=True),
@@ -393,11 +406,12 @@ def test_differential_fuzz(seed: int):
                     got = engine.execute(literal)
                 rows_by_name[name] = got
                 assert canonical(got) == expected, f"{name} @ {where}"
-            # Byte-identity across serial/thread/process, per opt level:
-            # same engine, same plan, different execution substrate.
+            # Byte-identity across serial/thread/process/auto, per
+            # opt level: same engine, same plan, different execution
+            # substrate (auto may mix substrates within one query).
             for level in ("o2", "o0"):
                 base = rows_by_name[f"hique-{level}"]
-                for suffix in ("thread", "process"):
+                for suffix in ("thread", "process", "auto"):
                     name = f"hique-{level}-{suffix}"
                     assert rows_by_name[name] == base, f"{name} @ {where}"
             assert any(

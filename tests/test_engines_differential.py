@@ -13,6 +13,7 @@ from repro.core.emitter import OPT_O0, OPT_O2
 from repro.core.engine import HiqueEngine
 from repro.engines.vectorized import VectorizedEngine
 from repro.engines.volcano import VolcanoEngine
+from repro.parallel.stats import ParallelConfig
 from repro.plan.optimizer import PlannerConfig
 from repro.plan.reference import evaluate as reference_evaluate
 from repro.sql.binder import Binder
@@ -39,6 +40,19 @@ def reference(catalog, sql):
 ENGINE_FACTORIES = {
     "hique-o2": lambda c: HiqueEngine(c, opt_level=OPT_O2),
     "hique-o0": lambda c: HiqueEngine(c, opt_level=OPT_O0),
+    # Cost-model-routed placement: each batch may run on the thread or
+    # the process backend, and rows must still match everyone else.
+    "hique-o2-auto": lambda c: HiqueEngine(
+        c,
+        opt_level=OPT_O2,
+        parallel=ParallelConfig(
+            placement="auto",
+            workers=3,
+            morsel_pages=1,
+            min_pages=1,
+            min_rows=8,
+        ),
+    ),
     "volcano-generic": lambda c: VolcanoEngine(c, generic=True),
     "volcano-optimized": lambda c: VolcanoEngine(c),
     "systemx": lambda c: VolcanoEngine(c, buffered=True),
@@ -70,8 +84,10 @@ FORCED_CONFIGS = [
 
 
 @pytest.mark.parametrize("config_index", range(len(FORCED_CONFIGS)))
-@pytest.mark.parametrize("engine_name",
-                         ["hique-o2", "hique-o0", "volcano-optimized"])
+@pytest.mark.parametrize(
+    "engine_name",
+    ["hique-o2", "hique-o0", "hique-o2-auto", "volcano-optimized"],
+)
 def test_forced_algorithms_agree(simple_catalog, engine_name, config_index):
     config = FORCED_CONFIGS[config_index]
     engine = ENGINE_FACTORIES[engine_name](simple_catalog)

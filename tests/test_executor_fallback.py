@@ -51,6 +51,9 @@ def fuzz_catalog() -> Catalog:
 PROCESS = ParallelConfig(
     workers=2, morsel_pages=4, min_pages=2, min_rows=64,
     executor=EXECUTOR_PROCESS,
+    # Pinned so a REPRO_PLACEMENT=auto environment leg cannot reroute
+    # these backend-specific tests onto the thread backend.
+    placement=EXECUTOR_PROCESS,
 )
 
 

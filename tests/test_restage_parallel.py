@@ -104,6 +104,20 @@ def _canonical(rows):
     return sorted(repr(list(row)) for row in rows)
 
 
+def _fallback_notes(stats) -> list[str]:
+    """Serial-decision notes only.
+
+    The adaptive placement summary ("adaptive placement routed
+    restage\u2192thread\u00d71, ...") also names phase kinds; it reports routing,
+    not a fallback, and must not trip the no-serial-restage checks.
+    """
+    return [
+        note
+        for note in stats.notes
+        if not note.startswith("adaptive placement")
+    ]
+
+
 def test_plan_contains_restage(catalog):
     engine = HiqueEngine(catalog)
     try:
@@ -154,7 +168,9 @@ def test_restage_parallel_and_byte_identical(catalog, force_join):
             assert stats is not None and stats.parallel, stats
             # Acceptance: a large intermediate's Restage is no longer a
             # serial decision in the stats notes.
-            assert not any("restage" in note for note in stats.notes), stats
+            assert not any(
+                "restage" in note for note in _fallback_notes(stats)
+            ), stats
     finally:
         serial.close()
         parallel.close()
@@ -174,7 +190,9 @@ def test_hybrid_aggregation_restage_parallel(catalog):
         assert parallel.execute(SQL_AGG) == serial.execute(SQL_AGG)
         stats = parallel.last_exec_stats
         assert stats is not None and stats.parallel
-        assert not any("restage" in note for note in stats.notes), stats
+        assert not any(
+            "restage" in note for note in _fallback_notes(stats)
+        ), stats
     finally:
         serial.close()
         parallel.close()
@@ -194,7 +212,9 @@ def test_double_restage_keys_stay_parallel_without_float_reorder(catalog):
         assert parallel.execute(SQL_DOUBLE) == serial.execute(SQL_DOUBLE)
         stats = parallel.last_exec_stats
         assert stats is not None and stats.parallel
-        assert not any("restage" in note for note in stats.notes), stats
+        assert not any(
+            "restage" in note for note in _fallback_notes(stats)
+        ), stats
     finally:
         serial.close()
         parallel.close()
