@@ -1,0 +1,96 @@
+"""Query server: serve a database over TCP and talk to it.
+
+Starts an in-process server with :meth:`Database.serve`, then drives
+it through the blocking :class:`repro.server.QueryClient` — one-shot
+queries, per-connection prepared statements, typed error responses,
+and the server/service stats surface.
+
+Run with::
+
+    python examples/query_server.py
+"""
+
+from repro import Column, DOUBLE, Database, INT, char
+from repro.errors import BindError
+from repro.server import QueryClient
+
+
+def main() -> None:
+    db = Database()
+    db.create_table(
+        "sales",
+        [
+            Column("region", char(8)),
+            Column("product", INT),
+            Column("quantity", INT),
+            Column("price", DOUBLE),
+        ],
+    )
+    db.load_rows(
+        "sales",
+        (
+            (f"r{i % 4}", i % 50, 1 + i % 9, round(9.99 + (i % 30), 2))
+            for i in range(10_000)
+        ),
+    )
+    db.analyze()
+
+    # Port 0 picks a free port; the handle knows the bound address.
+    handle = db.serve()
+    print(f"serving on {handle.host}:{handle.port}")
+
+    with QueryClient(*handle.address) as client:
+        # One-shot queries go through the shared plan cache.
+        rows = client.query(
+            "SELECT region, sum(quantity * price) AS revenue "
+            "FROM sales WHERE product < ? "
+            "GROUP BY region ORDER BY revenue DESC",
+            params=[25],
+        )
+        print("revenue by region (over the wire):")
+        for region, revenue in rows:
+            print(f"  {region}  {revenue:12.2f}")
+
+        # The same rows a direct in-process execution returns —
+        # byte-identical, floats included.
+        direct = db.execute(
+            "SELECT region, sum(quantity * price) AS revenue "
+            "FROM sales WHERE product < ? "
+            "GROUP BY region ORDER BY revenue DESC",
+            params=(25,),
+        )
+        assert rows == direct
+        print("rows match Database.execute exactly")
+
+        # Prepared statements: compiled once server-side, the handle
+        # lives on this connection, executions just bind parameters.
+        statement = client.prepare(
+            "SELECT count(*) AS n FROM sales WHERE product = ?"
+        )
+        for product in (7, 21, 42):
+            (count,) = client.execute(statement, [product])[0]
+            print(f"product {product:2d}: {count} sales")
+
+        # Errors come back typed, and the connection survives them.
+        try:
+            client.query("SELECT nope FROM sales")
+        except BindError as exc:
+            print(f"typed error, connection intact: {exc}")
+        assert client.ping()
+
+        stats = client.stats()
+        print(
+            "server stats: "
+            f"{stats['server']['queries_ok']} ok, "
+            f"{stats['server']['errors']} errors, "
+            f"{stats['server']['connections_active']} connection(s)"
+        )
+
+    # Graceful drain: admitted queries finish, then sockets close.
+    handle.stop()
+    db.close()
+    print("server drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

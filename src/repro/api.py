@@ -456,6 +456,34 @@ class Database:
             )
         return self.service.prepare(sql, engine=engine)
 
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        query_timeout: float | None = None,
+        task_timeout: float | None = None,
+    ):
+        """Serve this database over TCP on a background thread.
+
+        Newline-delimited JSON protocol (see :mod:`repro.server`),
+        backed by the query service's session pool and admission
+        control.  Returns a :class:`repro.server.ServerHandle` whose
+        ``address`` is the bound (host, port) — pass ``port=0`` for an
+        OS-assigned one — and whose ``stop()`` drains in-flight
+        queries before shutting down.  ``query_timeout`` bounds each
+        query's wall time (typed ``timeout`` response);
+        ``task_timeout`` arms the parallel stall watchdog beneath it.
+        """
+        from repro.server import serve_in_thread
+
+        return serve_in_thread(
+            self,
+            host=host,
+            port=port,
+            query_timeout=query_timeout,
+            task_timeout=task_timeout,
+        )
+
     # -- querying -----------------------------------------------------------------------
     def execute(
         self,

@@ -56,6 +56,11 @@ executed through ``.prepare`` / ``.exec``.  Meta-commands:
 * ``.slow [n|clear]`` — the n slowest queries over the
   ``REPRO_SLOW_MS`` threshold (default 100 ms), with span counts when
   tracing captured their trees; ``clear`` empties the log
+* ``.serve [[host:]port | stop]`` — serve this database over TCP
+  (newline-delimited JSON, see ``repro.server``) on a background
+  thread: per-connection prepared statements, typed ``over_capacity``
+  backpressure, graceful drain on ``stop``; with no argument, show
+  the address and connection/query counters
 * ``.quit`` — exit
 """
 
@@ -80,6 +85,7 @@ class Shell:
         self.timing = True
         self.stdout = stdout if stdout is not None else sys.stdout
         self.last_statement: PreparedStatement | None = None
+        self.server_handle = None
 
     # -- output ------------------------------------------------------------------
     def write(self, text: str = "") -> None:
@@ -164,6 +170,8 @@ class Shell:
             self._exec(argument)
         elif command == ".cache":
             self._cache(argument)
+        elif command == ".serve":
+            self._serve(argument)
         elif command == ".workers":
             try:
                 config = self.db.set_parallel(workers=int(argument))
@@ -339,7 +347,7 @@ class Shell:
         parallel_runs, serial_runs = self.db.parallel_counters()
         self.write(
             f"engine executions: {parallel_runs} parallel, "
-            f"{serial_runs} serial ({stats.executor} backend)"
+            f"{serial_runs} serial ({stats.executor} placement)"
         )
         for entry in reversed(service.cache.entries()):
             kind, key, _signature = entry.key
@@ -347,6 +355,67 @@ class Shell:
                 f"  [{entry.hits:>4} hits, {entry.seconds_saved * 1000:8.2f}"
                 f" ms saved, {entry.size_bytes:>7} B] ({kind}) {key}"
             )
+
+    def _serve(self, argument: str) -> None:
+        if argument == "stop":
+            if self.server_handle is None:
+                self.write("no server running")
+                return
+            self.server_handle.stop()
+            stats = self.server_handle.stats()
+            self.server_handle = None
+            self.write(
+                f"server drained and stopped "
+                f"({stats.queries_ok} queries served, "
+                f"{stats.connections_total} connections)"
+            )
+            return
+        if not argument:
+            if self.server_handle is None:
+                self.write(
+                    "no server running (.serve [host:]port to start)"
+                )
+            else:
+                host, port = self.server_handle.address
+                stats = self.server_handle.stats()
+                self.write(
+                    f"serving on {host}:{port} — "
+                    f"{stats.connections_active} active / "
+                    f"{stats.connections_total} total connections, "
+                    f"{stats.queries_ok} ok, {stats.errors} errors "
+                    f"({stats.over_capacity} over capacity, "
+                    f"{stats.timeouts} timeouts)"
+                )
+            return
+        if self.server_handle is not None:
+            self.write(
+                "a server is already running (.serve stop first)"
+            )
+            return
+        host, _, port_text = argument.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            self.write("usage: .serve [[host:]port | stop]")
+            return
+        try:
+            self.server_handle = self.db.serve(host=host, port=port)
+        except OSError as exc:
+            self.write(f"error: {exc}")
+            return
+        bound_host, bound_port = self.server_handle.address
+        self.write(
+            f"serving on {bound_host}:{bound_port} "
+            f"(newline-delimited JSON; .serve stop to drain)"
+        )
+
+    def close(self) -> None:
+        """Release the shell's resources (server first, then the db)."""
+        if self.server_handle is not None:
+            self.server_handle.stop()
+            self.server_handle = None
+        self.db.close()
 
     def _trace(self, argument: str) -> None:
         if argument == "on":
@@ -517,6 +586,8 @@ def main(argv: list[str] | None = None) -> int:
                 break
     except KeyboardInterrupt:
         pass
+    finally:
+        shell.close()
     return 0
 
 

@@ -90,6 +90,25 @@ class AdmissionError(ServiceError):
     new request cannot be admitted."""
 
 
+class QueryTimeout(ServiceError):
+    """Raised when a query exceeds the server's per-query deadline.
+
+    Distinct from :class:`WatchdogTimeout`: the watchdog fires when a
+    parallel *task* makes no progress, this fires when a whole query
+    overruns the serving deadline even while progressing.  The server
+    reports it as a typed ``timeout`` response instead of dropping the
+    connection.
+    """
+
+
+class ServerError(ReproError):
+    """Raised by the TCP query-server front-end (framing, lifecycle)."""
+
+
+class ProtocolError(ServerError):
+    """Raised for a malformed protocol frame (bad JSON, missing op...)."""
+
+
 class MapDirectoryOverflow(ExecutionError):
     """Raised by generated map-aggregation code when a value directory
     outgrows its planned capacity (stale statistics).

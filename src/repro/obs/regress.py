@@ -58,6 +58,10 @@ GATED_METRICS: dict[str, tuple[tuple[str, bool, bool], ...]] = {
         ("insights_overhead", False, False),
     ),
     "BENCH_scheduler.json": (("mixed_speedup", True, True),),
+    "BENCH_server.json": (
+        ("qps", True, True),
+        ("p99_ms", False, True),
+    ),
 }
 
 

@@ -1,0 +1,144 @@
+"""Wire protocol for the query server: newline-delimited JSON.
+
+One frame per line, UTF-8 JSON, ``\\n`` terminated — trivially
+debuggable (``nc`` + a text editor speak it) and cheap to parse, while
+the one-object-per-line discipline still gives unambiguous framing
+under pipelining.
+
+Requests carry an ``op`` plus a client-chosen ``id`` that is echoed on
+the response, so a client may pipeline several requests on one
+connection and match answers by id::
+
+    {"op": "query", "id": 1, "sql": "SELECT a FROM t WHERE a = ?",
+     "params": [7]}
+
+Responses are ``{"id": ..., "ok": true, ...}`` on success or
+``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``
+on failure.  Error codes are *typed* — ``over_capacity`` maps the
+service's admission backpressure, ``watchdog_timeout`` a stall-watchdog
+abandonment, ``timeout`` the server's per-query deadline,
+``shutting_down`` a drain in progress — so a load generator can tell
+"back off and retry" from "your SQL is wrong" without string matching.
+
+Parameter values travel as JSON numbers and strings; DATE parameters
+are passed as day ordinals (integers), exactly as the storage layer
+holds them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import (
+    AdmissionError,
+    BindError,
+    ExecutionError,
+    LexerError,
+    ParseError,
+    ProtocolError,
+    QueryTimeout,
+    ReproError,
+    ServerError,
+    ServiceError,
+    UnsupportedSqlError,
+    WatchdogTimeout,
+)
+
+#: Protocol operations a client may request.
+OPS = (
+    "query",  # one-shot execution through the service cache
+    "prepare",  # compile one statement shape, returns a handle id
+    "execute",  # run a prepared handle with a parameter vector
+    "close_stmt",  # drop a prepared handle
+    "stats",  # service + server counters
+    "ping",  # liveness probe
+)
+
+#: Typed error codes, most specific first — the order matters because
+#: the exception hierarchy nests (AdmissionError is a ServiceError).
+_ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
+    (AdmissionError, "over_capacity"),
+    (QueryTimeout, "timeout"),
+    (WatchdogTimeout, "watchdog_timeout"),
+    (ParseError, "parse"),
+    (LexerError, "parse"),
+    (UnsupportedSqlError, "unsupported"),
+    (BindError, "bind"),
+    (ProtocolError, "bad_request"),
+    (ServerError, "server"),
+    (ServiceError, "service"),
+    (ExecutionError, "execution"),
+    (ReproError, "error"),
+)
+
+#: code → exception class a client raises for it (inverse of the
+#: table above; duplicate codes resolve to the first entry).
+_CODE_EXCEPTIONS: dict[str, type[BaseException]] = {}
+for _exc_type, _code in _ERROR_CODES:
+    _CODE_EXCEPTIONS.setdefault(_code, _exc_type)
+_CODE_EXCEPTIONS["shutting_down"] = ServerError
+_CODE_EXCEPTIONS["internal"] = ServerError
+
+
+def error_code(exc: BaseException) -> str:
+    """The typed wire code for an exception (``internal`` if unknown)."""
+    for exc_type, code in _ERROR_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return "internal"
+
+
+def exception_for(code: str, message: str) -> BaseException:
+    """The client-side exception a typed error response raises as."""
+    return _CODE_EXCEPTIONS.get(code, ServerError)(message)
+
+
+def encode(frame: dict[str, Any]) -> bytes:
+    """One frame → one UTF-8 JSON line (compact separators)."""
+    return (
+        json.dumps(frame, separators=(",", ":"), ensure_ascii=False)
+        + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes) -> dict[str, Any]:
+    """One received line → frame dict, or :class:`ProtocolError`."""
+    try:
+        frame = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def ok_response(request_id: Any, **fields: Any) -> dict[str, Any]:
+    return {"id": request_id, "ok": True, **fields}
+
+
+def error_response(
+    request_id: Any, code: str, message: str
+) -> dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def rows_to_wire(rows: list[tuple]) -> list[list[Any]]:
+    """Result rows → JSON-encodable lists (tuples do not survive JSON)."""
+    return [list(row) for row in rows]
+
+
+def rows_from_wire(rows: list[list[Any]]) -> list[tuple]:
+    """Decoded JSON rows → the tuples :meth:`Database.execute` returns.
+
+    JSON round-trips ints, floats and strings exactly (floats via
+    ``repr``-precision shortest form), so rows reconstructed here are
+    byte-identical to a direct in-process execution.
+    """
+    return [tuple(row) for row in rows]

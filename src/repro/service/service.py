@@ -65,9 +65,12 @@ class ServiceStats:
     rejected: int
     pending: int
     cache: CacheStats
-    #: Intra-query task backend the database's engines dispatch to
-    #: ("thread" or "process") — operators reading service stats see at
-    #: a glance which substrate their sessions' parallel phases run on.
+    #: Effective intra-query placement the database's engines dispatch
+    #: under — ``"thread"``/``"process"`` when one backend is forced,
+    #: ``"auto"`` when the adaptive cost model routes each batch (mixed
+    #: thread/process inside one query).  Operators reading service
+    #: stats see the substrate their sessions' parallel phases actually
+    #: run on, not just the legacy ``executor`` knob.
     executor: str = "thread"
     #: Queries the stall watchdog aborted (a wedged parallel task).
     #: Surfaced here *and* per digest, so a wedged statement is visible
@@ -378,7 +381,10 @@ class QueryService:
         allow_override: bool = True,
     ) -> list[tuple]:
         """Run a prepared statement with one parameter vector."""
-        if self._closed:
+        # ``close()`` rejects *new* work but drains the session pool:
+        # a query that won admission before the close must complete,
+        # so the pool's own workers (marked via the thread-local) pass.
+        if self._closed and not getattr(self._local, "admitted", False):
             raise ServiceError("query service is closed")
         values = statement.resolve_params(params, allow_override)
         with self._state_lock:
@@ -607,6 +613,26 @@ class QueryService:
         :class:`~repro.errors.AdmissionError` instead of queuing without
         limit — backpressure a serving system must give its clients.
         """
+        return self._submit_work(
+            lambda: self.execute(sql, params, engine)
+        )
+
+    def submit_statement(
+        self,
+        statement: PreparedStatement,
+        params: Sequence[Any] | None = None,
+    ) -> "Future[list[tuple]]":
+        """Queue one prepared-statement execution on the session pool.
+
+        Same admission accounting and backpressure as :meth:`submit`,
+        but over an already-prepared handle — the path a server
+        front-end uses for per-connection prepared-statement reuse.
+        """
+        return self._submit_work(
+            lambda: self.execute_statement(statement, params)
+        )
+
+    def _submit_work(self, work) -> "Future[list[tuple]]":
         if self._closed:
             raise ServiceError("query service is closed")
         with self._state_lock:
@@ -621,8 +647,7 @@ class QueryService:
             pool = self._ensure_pool()
         try:
             future = pool.submit(
-                self._run_session, sql, params, engine,
-                time.perf_counter(),
+                self._run_session, work, time.perf_counter()
             )
         except RuntimeError as exc:
             # close() shut the pool down between our admission check and
@@ -644,24 +669,26 @@ class QueryService:
         return self._pool
 
     def _run_session(
-        self,
-        sql: str,
-        params: Sequence[Any] | None,
-        engine: str | None,
-        submitted_at: float | None = None,
+        self, work, submitted_at: float | None = None
     ) -> list[tuple]:
         # Counters update in the worker, *before* the future resolves:
         # a caller returning from future.result() then observes stats()
         # already settled (a done-callback would race that read).
         if submitted_at is not None:
             self._queue_hist.observe(time.perf_counter() - submitted_at)
+        # Mark this worker as running *admitted* work: close() drains
+        # the pool, and a session that won admission before the close
+        # must execute instead of failing "query service is closed".
+        self._local.admitted = True
         try:
-            result = self.execute(sql, params, engine)
+            result = work()
         except BaseException:
             with self._state_lock:
                 self._pending -= 1
                 self._failed += 1
             raise
+        finally:
+            self._local.admitted = False
         with self._state_lock:
             self._pending -= 1
             self._completed += 1
@@ -743,6 +770,21 @@ class QueryService:
 
     def stats(self) -> ServiceStats:
         parallel_config = getattr(self.database, "parallel_config", None)
+        # Report the *effective* placement: ``placement="auto"`` (or a
+        # forced per-batch policy) overrides the legacy executor knob,
+        # and stats that echo only the configured executor would lie
+        # about the substrate mixed-placement queries actually run on.
+        if parallel_config is not None:
+            effective = getattr(
+                parallel_config, "effective_placement", None
+            )
+            executor = (
+                effective()
+                if callable(effective)
+                else getattr(parallel_config, "executor", "thread")
+            )
+        else:
+            executor = "thread"
         with self._state_lock:
             return ServiceStats(
                 queries=self._queries,
@@ -753,13 +795,20 @@ class QueryService:
                 rejected=self._rejected,
                 pending=self._pending,
                 cache=self.cache.stats(),
-                executor=getattr(parallel_config, "executor", "thread"),
+                executor=executor,
                 watchdog_abandonments=self._watchdog,
             )
 
     # -- lifecycle ---------------------------------------------------------------------
     def close(self) -> None:
-        """Stop accepting work, drain the pool, release the cache."""
+        """Stop accepting work, drain the pool, release the cache.
+
+        ``_closed`` flips first so *new* submissions and one-shot
+        executions are rejected immediately, but sessions already
+        admitted to the pool drain to completion (their worker threads
+        carry an ``admitted`` mark past the closed check) — a graceful
+        shutdown finishes the work it accepted.
+        """
         if self._closed:
             return
         self._closed = True

@@ -64,8 +64,23 @@ class PreparedStatement:
         bug, not an intent to override inlined constants.
         """
         if params is None:
-            if self.parameterized.values or self.num_params == 0:
-                return self.parameterized.values
+            defaults = self.parameterized.values
+            if self.num_params == 0:
+                return defaults
+            # The extracted constants only stand in for the caller's
+            # vector when they cover *every* parameter.  A statement
+            # mixing explicit ``?`` placeholders with parameterized
+            # literals would otherwise execute with a short vector —
+            # generated code indexing past its end, or binding the
+            # wrong value to the wrong slot.
+            if defaults and len(defaults) == self.num_params:
+                return defaults
+            if defaults:
+                raise ServiceError(
+                    f"statement expects {self.num_params} parameter(s) "
+                    f"but literal parameterization extracted only "
+                    f"{len(defaults)}; pass the full params=(...) vector"
+                )
             raise ServiceError(
                 f"statement expects {self.num_params} parameter(s); "
                 f"pass params=(...)"

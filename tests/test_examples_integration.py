@@ -51,6 +51,12 @@ class TestExampleScripts:
         assert "HIQUE join team" in out
         assert "def team_join" in out
 
+    def test_query_server(self):
+        out = run_example("query_server.py")
+        assert "rows match Database.execute exactly" in out
+        assert "typed error, connection intact" in out
+        assert "server drained and stopped" in out
+
 
 class TestHarnessEndToEnd:
     def test_fig5_returns_four_results(self):

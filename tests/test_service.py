@@ -335,6 +335,107 @@ def test_closed_service_refuses_work(simple_db):
         simple_db.service.submit("SELECT a FROM t WHERE a = 1")
 
 
+def test_close_drains_admitted_sessions(simple_catalog):
+    """close() must *drain* queued work, not fail it: a session that
+    won admission before the close completes with real rows instead of
+    "query service is closed"."""
+    import time
+
+    from repro import Database as Db
+
+    db = Db(catalog=simple_catalog, max_workers=1)
+    service = db.service
+    original = service.execute
+
+    def slowed(sql, params=None, engine=None):
+        time.sleep(0.05)  # hold the single worker so a queue builds
+        return original(sql, params, engine)
+
+    service.execute = slowed
+    expected = db.execute("SELECT a, b FROM t WHERE k = 3")
+    futures = [
+        service.submit("SELECT a, b FROM t WHERE k = ?", params=(3,))
+        for _ in range(6)
+    ]
+    service.close()  # queued sessions drain; new submissions reject
+    for future in futures:
+        assert future.result(timeout=30) == expected
+    stats = service.stats()
+    assert stats.completed == 6
+    assert stats.failed == 0
+    assert stats.pending == 0
+    with pytest.raises(ServiceError):
+        service.submit("SELECT a FROM t WHERE a = 1")
+    db.close()
+
+
+def test_futures_cancelled_while_queued_release_their_slots(
+    simple_catalog,
+):
+    """Cancelling a still-queued future must free its admission slot
+    and count as failed, leaving stats consistent."""
+    import threading
+    import time
+
+    from repro import Database as Db
+
+    db = Db(catalog=simple_catalog, max_workers=1)
+    service = db.service
+    service.max_pending = 64
+    gate = threading.Event()
+    original = service.execute
+
+    def gated(sql, params=None, engine=None):
+        gate.wait(timeout=30)
+        return original(sql, params, engine)
+
+    service.execute = gated
+    blocker = service.submit("SELECT a FROM t WHERE a = 1")
+    time.sleep(0.05)  # let the blocker occupy the only worker
+    queued = [
+        service.submit("SELECT a FROM t WHERE a = ?", params=(i,))
+        for i in range(4)
+    ]
+    cancelled = [future.cancel() for future in queued]
+    assert all(cancelled)  # still queued behind the blocker
+    gate.set()
+    assert blocker.result(timeout=30)
+    stats = service.stats()
+    assert stats.pending == 0
+    assert stats.completed == 1
+    assert stats.failed == 4  # the cancelled sessions
+    assert stats.submitted == 5
+    db.close()
+
+
+def test_stats_report_effective_placement(simple_catalog):
+    """placement="auto" must be visible in ServiceStats.executor, not
+    masked by the legacy executor knob."""
+    with Database(catalog=simple_catalog, placement="auto") as db:
+        db.execute("SELECT a FROM t WHERE a = 1")
+        assert db.service.stats().executor == "auto"
+    with Database(catalog=simple_catalog, executor="thread") as db:
+        assert db.service.stats().executor == "thread"
+
+
+def test_resolve_params_rejects_short_default_vector(simple_db):
+    """A statement whose extracted literals do not cover every
+    parameter must refuse to execute with the short vector."""
+    import dataclasses
+
+    stmt = simple_db.prepare("SELECT a, b FROM t WHERE a = 10")
+    # Simulate a mixed explicit-?/extracted-literal statement: one
+    # extracted value standing in front of two expected parameters.
+    mixed = dataclasses.replace(
+        stmt.parameterized, num_params=2
+    )
+    broken = dataclasses.replace(stmt, parameterized=mixed)
+    with pytest.raises(ServiceError, match="extracted only 1"):
+        broken.resolve_params(None)
+    # Well-formed defaults still pass through untouched.
+    assert stmt.resolve_params(None) == (10,)
+
+
 def test_shell_sql_uses_one_preparation_per_shape():
     """The shell must not pay extra codegen for column names."""
     import io
