@@ -35,6 +35,10 @@ from repro.obs import (
 )
 from repro.obs.explain import render_explain_analyze
 from repro.parallel.executor import ParallelExecutor
+from repro.parallel.intermediates import (
+    IntermediateCache,
+    IntermediateCacheStats,
+)
 from repro.parallel.stats import (
     EXECUTOR_KINDS,
     PLACEMENT_KINDS,
@@ -141,6 +145,11 @@ class Database:
         self._engines: dict[str, Any] = {}
         self._engines_lock = threading.Lock()
         self._service: QueryService | None = None
+        #: Version-keyed cache of staged scan intermediates, shared by
+        #: the code-generating engines' parallel executors.  Keys carry
+        #: each table's mutation epoch, so DML coherence is automatic;
+        #: the catalogue listener below drops entries eagerly.
+        self.intermediates = IntermediateCache()
         #: Per-database metrics registry + tracer: independent databases
         #: never share collectors or span trees.
         self.obs = Observability(
@@ -158,6 +167,7 @@ class Database:
         self.insights_store = WorkloadInsights(
             obs=self.obs, enabled=insights
         )
+        self.insights_store.intermediates_source = self.intermediates.stats
         # Engine-internal caches (compiled text cache, DSM copies) go
         # stale on DDL and statistics changes, same as service plans.
         self.catalog.add_listener(self._on_catalog_change)
@@ -173,7 +183,11 @@ class Database:
         # Bulk loads are writers: take the catalogue's exclusive gate so
         # no concurrent read query observes a half-loaded table.
         with self.catalog.exclusive():
-            return self.catalog.table(name).load_rows(rows)
+            count = self.catalog.table(name).load_rows(rows)
+            # The table's version moved; tell the fine-grained caches
+            # while the write gate is still held.
+            self.catalog.notify_dml(name)
+            return count
 
     def analyze(self, name: str | None = None) -> None:
         self.catalog.analyze(name)
@@ -239,16 +253,18 @@ class Database:
         )
 
     def _wire_profile_source(self, engine):
-        """Point an engine's scheduler at the cross-query profile.
+        """Wire an engine's scheduler to the database's shared state.
 
-        Adaptive placement then seeds its cost model from observed
+        Adaptive placement seeds its cost model from observed
         per-operator rates (``.insights`` profile) instead of static
-        priors alone.
+        priors alone, and staged scan outputs land in the shared
+        version-keyed intermediate cache.
         """
         if engine.parallel is not None:
             engine.parallel.profile_source = (
                 self.insights_store.profile.kind_totals
             )
+            engine.parallel.intermediates = self.intermediates
         return engine
 
     # -- parallelism knobs ---------------------------------------------------------------
@@ -364,6 +380,23 @@ class Database:
         parallel_runs, serial_runs = self.parallel_counters()
         registry.sample("repro_parallel_runs_total", parallel_runs)
         registry.sample("repro_serial_runs_total", serial_runs)
+        inter = self.intermediates.stats()
+        registry.sample(
+            "repro_intermediate_cache_capacity_bytes", inter.capacity_bytes
+        )
+        registry.sample("repro_intermediate_cache_entries", inter.entries)
+        registry.sample("repro_intermediate_cache_bytes", inter.bytes)
+        registry.sample("repro_intermediate_cache_hits_total", inter.hits)
+        registry.sample(
+            "repro_intermediate_cache_misses_total", inter.misses
+        )
+        registry.sample(
+            "repro_intermediate_cache_evictions_total", inter.evictions
+        )
+        registry.sample(
+            "repro_intermediate_cache_invalidations_total",
+            inter.invalidations,
+        )
 
     def set_trace(self, enabled: bool) -> None:
         """Turn per-query span recording on or off at run time."""
@@ -425,14 +458,29 @@ class Database:
         plan = self.service.physical_plan(sql, engine=engine, params=params)
         return render_explain_analyze(plan, trace)
 
-    def _on_catalog_change(self, table: str | None) -> None:
-        for kind in ("hique", "hique-o0"):
-            cached = self._engines.get(kind)
+    def _on_catalog_change(
+        self, table: str | None, kind: str = "ddl"
+    ) -> None:
+        if kind == "dml":
+            # A mutation moved one table's version: the DSM copy and
+            # that table's staged intermediates are stale; compiled
+            # code is not (generated scans read live pages), so the
+            # engines' text caches survive.
+            vectorized = self._engines.get("vectorized")
+            if vectorized is not None:
+                vectorized.invalidate(table)
+            self.intermediates.invalidate_table(table)
+            return
+        for engine_kind in ("hique", "hique-o0"):
+            cached = self._engines.get(engine_kind)
             if cached is not None:
                 cached.clear_cache()
         vectorized = self._engines.get("vectorized")
         if vectorized is not None:
             vectorized.invalidate(table)
+        # DDL recreating a table restarts its version epoch, which
+        # would alias old keys: drop everything.
+        self.intermediates.clear()
 
     # -- the query service --------------------------------------------------------------
     @property

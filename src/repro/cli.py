@@ -18,7 +18,11 @@ executed through ``.prepare`` / ``.exec``.  Meta-commands:
   away; ``?`` placeholders allowed) and report preparation timings
 * ``.exec [v1, v2, ...]`` — run the last prepared statement with the
   given parameter values (int, float or 'string')
-* ``.cache [clear]`` — show (or reset) plan-cache and service stats
+* ``.cache [clear]`` — show (or reset) plan-cache and service stats;
+  each entry lists the ``table@version`` dependencies that keep it
+  alive (DML on a table drops only the entries depending on it)
+* ``.versions`` — per-table mutation epochs (bumped by every INSERT /
+  UPDATE / DELETE / load; version-keyed caches use them for coherence)
 * ``.workers <n>`` — set the parallel worker count
 * ``.executor [thread|process]`` — pick the intra-query task backend:
   ``thread`` overlaps latency-bound page waits in-process, ``process``
@@ -170,6 +174,12 @@ class Shell:
             self._exec(argument)
         elif command == ".cache":
             self._cache(argument)
+        elif command == ".versions":
+            versions = self.db.catalog.versions()
+            if not versions:
+                self.write("(no tables)")
+            for name in sorted(versions):
+                self.write(f"{name:20s} version {versions[name]}")
         elif command == ".serve":
             self._serve(argument)
         elif command == ".workers":
@@ -349,11 +359,23 @@ class Shell:
             f"engine executions: {parallel_runs} parallel, "
             f"{serial_runs} serial ({stats.executor} placement)"
         )
+        inter = self.db.intermediates.stats()
+        self.write(
+            f"intermediate cache: {inter.entries} entries, "
+            f"{inter.bytes:,} / {inter.capacity_bytes:,} B, "
+            f"{inter.hits} hits, {inter.misses} misses, "
+            f"{inter.evictions} evictions "
+            f"({inter.hit_rate * 100:.0f}% hit rate)"
+        )
         for entry in reversed(service.cache.entries()):
             kind, key, _signature = entry.key
+            deps = ", ".join(
+                f"{table}@{version}" for table, version in entry.deps
+            )
             self.write(
                 f"  [{entry.hits:>4} hits, {entry.seconds_saved * 1000:8.2f}"
                 f" ms saved, {entry.size_bytes:>7} B] ({kind}) {key}"
+                + (f"  deps: {deps}" if deps else "")
             )
 
     def _serve(self, argument: str) -> None:

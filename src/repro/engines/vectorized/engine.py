@@ -44,7 +44,12 @@ from repro.plan.descriptors import (
 from repro.plan.layout import ColumnLayout
 from repro.plan.optimizer import Optimizer, PlannerConfig
 from repro.sql.binder import Binder
-from repro.sql.bound import BoundAggregate, BoundArithmetic, BoundColumn
+from repro.sql.bound import (
+    BoundAggregate,
+    BoundArithmetic,
+    BoundColumn,
+    BoundParameter,
+)
 from repro.sql.parser import parse
 from repro.storage.catalog import Catalog
 from repro.storage.dsm import ColumnTable, from_table
@@ -136,7 +141,9 @@ class VectorizedEngine:
     ) -> list[tuple]:
         return self.execute_plan(self.plan(sql, planner_config))
 
-    def execute_plan(self, plan: PhysicalPlan) -> list[tuple]:
+    def execute_plan(
+        self, plan: PhysicalPlan, params: tuple = ()
+    ) -> list[tuple]:
         started = time.perf_counter()
         with self.obs.tracer.span(
             "execute", "engine", engine="vectorized"
@@ -148,7 +155,9 @@ class VectorizedEngine:
                     "node",
                     op_ids=str(operator.op_id),
                 ) as op_span:
-                    batch = self._run_operator(plan, operator, batches)
+                    batch = self._run_operator(
+                        plan, operator, batches, params
+                    )
                     if op_span is not None:
                         op_span.set(rows=batch.length)
                 batches[operator.op_id] = batch
@@ -165,10 +174,14 @@ class VectorizedEngine:
 
     # -- operators --------------------------------------------------------------------
     def _run_operator(
-        self, plan: PhysicalPlan, operator, batches: dict[int, _Batch]
+        self,
+        plan: PhysicalPlan,
+        operator,
+        batches: dict[int, _Batch],
+        params: tuple = (),
     ) -> _Batch:
         if isinstance(operator, ScanStage):
-            return self._run_scan(operator)
+            return self._run_scan(operator, params)
         if isinstance(operator, Restage):
             # Column engines re-materialise anyway; order-sensitive
             # consumers (merge joins) sort internally here.
@@ -178,13 +191,18 @@ class VectorizedEngine:
                 batches[operator.left_op],
                 batches[operator.right_op],
                 operator,
+                params,
             )
         if isinstance(operator, MultiwayJoin):
             return self._run_multiway(plan, operator, batches)
         if isinstance(operator, Aggregate):
-            return self._run_aggregate(batches[operator.input_op], operator)
+            return self._run_aggregate(
+                batches[operator.input_op], operator, params
+            )
         if isinstance(operator, ProjectOp):
-            return self._run_project(batches[operator.input_op], operator)
+            return self._run_project(
+                batches[operator.input_op], operator, params
+            )
         if isinstance(operator, Sort):
             return self._run_sort(batches[operator.input_op], operator)
         if isinstance(operator, Limit):
@@ -195,7 +213,7 @@ class VectorizedEngine:
             f"vectorized engine cannot run {type(operator).__name__}"
         )
 
-    def _run_scan(self, operator: ScanStage) -> _Batch:
+    def _run_scan(self, operator: ScanStage, params: tuple = ()) -> _Batch:
         column_table = self.column_table(operator.table.name)
         table_layout = ColumnLayout(
             _slot_for(operator.binding, column)
@@ -206,7 +224,8 @@ class VectorizedEngine:
             for column in operator.table.schema
         ]
         mask = vector_conjunction(
-            operator.filters, table_layout, arrays, column_table.num_rows
+            operator.filters, table_layout, arrays, column_table.num_rows,
+            params,
         )
         selected = np.flatnonzero(mask)
         out_arrays = []
@@ -216,7 +235,8 @@ class VectorizedEngine:
         return _Batch(operator.output_layout, out_arrays)
 
     def _run_join(
-        self, left: _Batch, right: _Batch, operator: Join
+        self, left: _Batch, right: _Batch, operator: Join,
+        params: tuple = (),
     ) -> _Batch:
         if operator.algorithm == "nested":
             left_index = np.repeat(np.arange(left.length), right.length)
@@ -233,7 +253,7 @@ class VectorizedEngine:
         if operator.residuals:
             mask = vector_conjunction(
                 operator.residuals, batch.layout, batch.arrays,
-                batch.length,
+                batch.length, params,
             )
             batch = batch.gather(np.flatnonzero(mask))
         return batch
@@ -256,7 +276,9 @@ class VectorizedEngine:
             current = _Batch(layout, arrays)
         return _Batch(operator.output_layout, current.arrays)
 
-    def _run_aggregate(self, batch: _Batch, operator: Aggregate) -> _Batch:
+    def _run_aggregate(
+        self, batch: _Batch, operator: Aggregate, params: tuple = ()
+    ) -> _Batch:
         if batch.length == 0 and not operator.group_positions:
             # A global aggregate over no input yields exactly one row:
             # count/sum are zero, min/max/avg are NULL.  The vectorised
@@ -266,7 +288,10 @@ class VectorizedEngine:
             return _Batch(
                 operator.output_layout,
                 [
-                    np.array([_empty_global_value(output.expr)], dtype=object)
+                    np.array(
+                        [_empty_global_value(output.expr, params)],
+                        dtype=object,
+                    )
                     for output in operator.outputs
                 ],
             )
@@ -277,24 +302,28 @@ class VectorizedEngine:
         for output in operator.outputs:
             out_arrays.append(
                 self._aggregate_output(
-                    output.expr, batch, group_ids, unique_index, num_groups
+                    output.expr, batch, group_ids, unique_index, num_groups,
+                    params,
                 )
             )
         return _Batch(operator.output_layout, out_arrays)
 
     def _aggregate_output(
-        self, expr, batch, group_ids, unique_index, num_groups
+        self, expr, batch, group_ids, unique_index, num_groups,
+        params: tuple = (),
     ) -> np.ndarray:
         if isinstance(expr, BoundAggregate):
             return _aggregate_array(
-                expr, batch, group_ids, num_groups
+                expr, batch, group_ids, num_groups, params
             )
         if isinstance(expr, BoundArithmetic):
             left = self._aggregate_output(
-                expr.left, batch, group_ids, unique_index, num_groups
+                expr.left, batch, group_ids, unique_index, num_groups,
+                params,
             )
             right = self._aggregate_output(
-                expr.right, batch, group_ids, unique_index, num_groups
+                expr.right, batch, group_ids, unique_index, num_groups,
+                params,
             )
             if expr.op == "+":
                 return left + right
@@ -305,13 +334,17 @@ class VectorizedEngine:
             return left / right
         if isinstance(expr, BoundColumn):
             return batch.arrays[batch.layout.position(expr)][unique_index]
+        if isinstance(expr, BoundParameter):
+            return np.full(num_groups, params[expr.index])
         # BoundLiteral: broadcast.
         return np.full(num_groups, expr.value)
 
-    def _run_project(self, batch: _Batch, operator: ProjectOp) -> _Batch:
+    def _run_project(
+        self, batch: _Batch, operator: ProjectOp, params: tuple = ()
+    ) -> _Batch:
         arrays = [
             np.asarray(
-                vector_expr(output.expr, batch.layout, batch.arrays)
+                vector_expr(output.expr, batch.layout, batch.arrays, params)
             )
             for output in operator.outputs
         ]
@@ -397,7 +430,7 @@ def _group_ids(
     return group_ids, unique_index, len(uniques)
 
 
-def _empty_global_value(expr):
+def _empty_global_value(expr, params: tuple = ()):
     """One output value of a global aggregate over an empty input."""
     if isinstance(expr, BoundAggregate):
         if expr.func == "count":
@@ -405,9 +438,11 @@ def _empty_global_value(expr):
         if expr.func == "sum":
             return 0.0 if expr.dtype.code == "double" else 0
         return None  # min/max/avg of nothing is NULL
+    if isinstance(expr, BoundParameter):
+        return params[expr.index]
     if isinstance(expr, BoundArithmetic):
-        left = _empty_global_value(expr.left)
-        right = _empty_global_value(expr.right)
+        left = _empty_global_value(expr.left, params)
+        right = _empty_global_value(expr.right, params)
         if expr.op == "+":
             return left + right
         if expr.op == "-":
@@ -419,14 +454,18 @@ def _empty_global_value(expr):
 
 
 def _aggregate_array(
-    node: BoundAggregate, batch: _Batch, group_ids: np.ndarray, num_groups: int
+    node: BoundAggregate,
+    batch: _Batch,
+    group_ids: np.ndarray,
+    num_groups: int,
+    params: tuple = (),
 ) -> np.ndarray:
     if node.func == "count":
         counts = np.bincount(group_ids, minlength=num_groups)
         return counts.astype(np.int64)
     if node.argument is None:
         raise ExecutionError(f"{node.func} requires an argument")
-    values = vector_expr(node.argument, batch.layout, batch.arrays)
+    values = vector_expr(node.argument, batch.layout, batch.arrays, params)
     values = np.asarray(values)
     if node.func == "sum":
         summed = np.bincount(

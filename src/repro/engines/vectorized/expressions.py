@@ -21,20 +21,29 @@ from repro.sql.bound import (
     BoundComparison,
     BoundExpr,
     BoundLiteral,
+    BoundParameter,
 )
 
 
 def vector_expr(
-    expr: BoundExpr, layout: ColumnLayout, arrays: Sequence[np.ndarray]
+    expr: BoundExpr,
+    layout: ColumnLayout,
+    arrays: Sequence[np.ndarray],
+    params: Sequence = (),
 ) -> np.ndarray:
     """Evaluate a scalar expression over column arrays."""
     if isinstance(expr, BoundColumn):
         return arrays[layout.position(expr)]
     if isinstance(expr, BoundLiteral):
         return _literal_value(expr)
+    if isinstance(expr, BoundParameter):
+        value = params[expr.index]
+        if isinstance(value, str):
+            return value.encode("utf-8")
+        return value
     if isinstance(expr, BoundArithmetic):
-        left = vector_expr(expr.left, layout, arrays)
-        right = vector_expr(expr.right, layout, arrays)
+        left = vector_expr(expr.left, layout, arrays, params)
+        right = vector_expr(expr.right, layout, arrays, params)
         if expr.op == "+":
             return left + right
         if expr.op == "-":
@@ -51,10 +60,11 @@ def vector_predicate(
     comparison: BoundComparison,
     layout: ColumnLayout,
     arrays: Sequence[np.ndarray],
+    params: Sequence = (),
 ) -> np.ndarray:
     """Evaluate one comparison to a boolean mask."""
-    left = vector_expr(comparison.left, layout, arrays)
-    right = vector_expr(comparison.right, layout, arrays)
+    left = vector_expr(comparison.left, layout, arrays, params)
+    right = vector_expr(comparison.right, layout, arrays, params)
     left, right = _align_string_operands(left, right)
     op = comparison.op
     if op == "=":
@@ -75,13 +85,14 @@ def vector_conjunction(
     layout: ColumnLayout,
     arrays: Sequence[np.ndarray],
     length: int,
+    params: Sequence = (),
 ) -> np.ndarray:
     """AND of all comparisons, as one mask (empty → all True)."""
     if not comparisons:
         return np.ones(length, dtype=bool)
-    mask = vector_predicate(comparisons[0], layout, arrays)
+    mask = vector_predicate(comparisons[0], layout, arrays, params)
     for comparison in comparisons[1:]:
-        mask &= vector_predicate(comparison, layout, arrays)
+        mask &= vector_predicate(comparison, layout, arrays, params)
     return mask
 
 

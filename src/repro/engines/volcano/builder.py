@@ -81,13 +81,14 @@ def build_tree(
     plan: PhysicalPlan,
     options: BuildOptions | None = None,
     probe: NullProbe = NULL_PROBE,
+    params: tuple = (),
 ) -> Iterator:
     """Instantiate the iterator tree for a plan's root."""
     if options is None:
         options = BuildOptions()
     built: dict[int, Iterator] = {}
     for operator in plan.operators:
-        node = _build_operator(plan, operator, built, options, probe)
+        node = _build_operator(plan, operator, built, options, probe, params)
         if options.deopt:
             node = Identity(node, probe)
         built[operator.op_id] = node
@@ -100,9 +101,10 @@ def _build_operator(
     built: dict[int, Iterator],
     options: BuildOptions,
     probe: NullProbe,
+    params: tuple = (),
 ) -> Iterator:
     if isinstance(operator, ScanStage):
-        return _build_scan(operator, options, probe)
+        return _build_scan(operator, options, probe, params)
     if isinstance(operator, Restage):
         child = _maybe_buffer(built[operator.input_op], options, probe)
         if operator.prep.kind == PREP_SORT:
@@ -133,7 +135,7 @@ def _build_operator(
             )
         if operator.residuals:
             fused = make_conjunction(
-                operator.residuals, operator.output_layout
+                operator.residuals, operator.output_layout, params
             )
             node = Filter(node, [], fused=fused, probe=probe)
         return node
@@ -171,7 +173,7 @@ def _build_operator(
     if isinstance(operator, Aggregate):
         child = _maybe_buffer(built[operator.input_op], options, probe)
         input_layout = plan.op(operator.input_op).output_layout
-        helpers = build_agg_helpers(operator, input_layout)
+        helpers = build_agg_helpers(operator, input_layout, params)
         if not operator.group_positions or operator.algorithm == AGG_MAP:
             return HashAggregate(child, helpers, probe)
         if operator.algorithm == AGG_SORT:
@@ -189,7 +191,7 @@ def _build_operator(
         child = _maybe_buffer(built[operator.input_op], options, probe)
         input_layout = plan.op(operator.input_op).output_layout
         evaluators = [
-            make_evaluator(output.expr, input_layout)
+            make_evaluator(output.expr, input_layout, params)
             for output in operator.outputs
         ]
         calls = len(evaluators) if options.generic else 1
@@ -208,7 +210,10 @@ def _build_operator(
 
 
 def _build_scan(
-    operator: ScanStage, options: BuildOptions, probe: NullProbe
+    operator: ScanStage,
+    options: BuildOptions,
+    probe: NullProbe,
+    params: tuple = (),
 ) -> Iterator:
     table = operator.table
     node: Iterator = TableScan(table, generic=options.generic, probe=probe)
@@ -219,12 +224,12 @@ def _build_scan(
     if operator.filters:
         if options.generic:
             conjuncts = [
-                make_predicate(comparison, table_layout)
+                make_predicate(comparison, table_layout, params)
                 for comparison in operator.filters
             ]
             node = Filter(node, conjuncts, fused=None, probe=probe)
         else:
-            fused = make_conjunction(operator.filters, table_layout)
+            fused = make_conjunction(operator.filters, table_layout, params)
             node = Filter(node, [], fused=fused, probe=probe)
     positions = [
         table.schema.index_of(slot.column)

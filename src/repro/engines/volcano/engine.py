@@ -66,14 +66,17 @@ class VolcanoEngine:
         return self.execute_plan(self.plan(sql, planner_config), probe)
 
     def execute_plan(
-        self, plan: PhysicalPlan, probe: NullProbe = NULL_PROBE
+        self,
+        plan: PhysicalPlan,
+        probe: NullProbe = NULL_PROBE,
+        params: tuple = (),
     ) -> list[tuple]:
         started = time.perf_counter()
         kind = "volcano-generic" if self.options.generic else (
             "systemx" if self.options.buffered else "volcano"
         )
         with self.obs.tracer.span("execute", "engine", engine=kind) as span:
-            root = build_tree(plan, self.options, probe)
+            root = build_tree(plan, self.options, probe, params)
             rows = drain(root)
             if span is not None:
                 span.set(rows=len(rows))

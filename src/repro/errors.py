@@ -50,6 +50,17 @@ class BindError(SqlError):
     """Raised when names or types cannot be resolved against the catalog."""
 
 
+class ConstraintError(SqlError):
+    """Raised when a DML statement violates a structural constraint.
+
+    Covers arity mismatches (INSERT with the wrong number of values),
+    values that do not fit the target column type, and strings wider
+    than a CHAR column.  Typed separately from :class:`BindError` so the
+    server can report it as a ``bad_request`` instead of dropping the
+    connection.
+    """
+
+
 class UnsupportedSqlError(SqlError):
     """Raised for syntactically valid SQL outside the supported subset.
 

@@ -122,6 +122,8 @@ def _annotate(span: Span) -> str:
             f"pages={span.pages_hit}hit/{span.pages_missed}miss"
             f" ({_hit_rate(span.pages_hit, span.pages_missed)} hit)"
         )
+    if span.attrs.get("staging_cached"):
+        parts.append("staging: reused cached intermediate")
     if span.attrs.get("serial"):
         reason = span.attrs.get("serial_reason", "")
         flag = "serial-fallback"

@@ -99,6 +99,7 @@ class Digest:
         "pages_missed",
         "backend",
         "backends",
+        "tables",
         "first_seen",
         "last_seen",
         "_hist",
@@ -108,6 +109,9 @@ class Digest:
         self.engine_kind = engine_kind
         self.key = key
         self.digest_id = _digest_id(engine_kind, key)
+        #: Lowercased table names the statement touches; lets DML
+        #: invalidation reset only the digests it actually staled.
+        self.tables: tuple[str, ...] = ()
         self.calls = 0
         self.errors = 0
         self.watchdog_timeouts = 0
@@ -195,6 +199,7 @@ class Digest:
                 name: {"calls": counts[0], "seconds": counts[1]}
                 for name, counts in self.backends.items()
             },
+            "tables": list(self.tables),
         }
 
 
@@ -209,6 +214,9 @@ class DigestStore:
         self._digests: "OrderedDict[tuple[str, str], Digest]" = OrderedDict()
         self.evictions = 0
         self.resets = 0
+        #: Fine-grained (single-table) resets, counted separately so
+        #: the wholesale counter keeps meaning "DDL happened".
+        self.scoped_resets = 0
         #: Calls recorded since construction — survives resets, so the
         #: hammer tests can reconcile totals across DDL.
         self.recorded = 0
@@ -225,6 +233,7 @@ class DigestStore:
         pages_hit: int = 0,
         pages_missed: int = 0,
         backend: str = "",
+        tables: tuple[str, ...] = (),
     ) -> Digest:
         """Fold one execution into the statement's digest (hot path)."""
         store_key = (engine_kind, key)
@@ -232,6 +241,8 @@ class DigestStore:
             digest = self._digests.get(store_key)
             if digest is None:
                 digest = Digest(engine_kind, key)
+                if tables:
+                    digest.tables = tables
                 self._digests[store_key] = digest
                 while len(self._digests) > self.capacity:
                     self._digests.popitem(last=False)
@@ -283,18 +294,32 @@ class DigestStore:
         with self._lock:
             return len(self._digests)
 
-    def reset(self) -> None:
-        """Drop every digest (DDL invalidation; mirrors the plan cache).
+    def reset(self, table: str | None = None) -> None:
+        """Drop stale digests after a catalogue change.
 
-        Digest statistics describe executions of plans the catalogue
-        change just invalidated — schema offsets, algorithm choices and
-        latencies may all differ afterwards, so keeping the old numbers
-        under the same key would blend two different plans.
+        With no ``table`` (DDL, ``analyze``): drop everything — schema
+        offsets, algorithm choices and latencies may all differ
+        afterwards, so keeping the old numbers under the same key would
+        blend two different plans.  With a ``table`` (DML): drop only
+        the digests whose recorded table set names it, mirroring the
+        plan cache's fine-grained invalidation — statistics for
+        statements over other tables describe plans that still stand.
         """
         with self._lock:
-            if self._digests:
-                self.resets += 1
-            self._digests.clear()
+            if table is None:
+                if self._digests:
+                    self.resets += 1
+                self._digests.clear()
+                return
+            doomed = [
+                key
+                for key, digest in self._digests.items()
+                if table in digest.tables
+            ]
+            for key in doomed:
+                del self._digests[key]
+            if doomed:
+                self.scoped_resets += 1
 
 
 @dataclass
@@ -440,6 +465,10 @@ class WorkloadInsights:
             threshold_seconds=slow_threshold_seconds, keep=slow_keep
         )
         self.profile = ProfileAggregator()
+        #: Zero-arg callable yielding the owning database's
+        #: intermediate-cache stats (wired by :class:`repro.api.Database`);
+        #: None for bare harnesses without one.
+        self.intermediates_source = None
         self._closed = False
         tracer: Tracer = obs.tracer
         tracer.add_trace_listener(self._on_trace)
@@ -460,6 +489,7 @@ class WorkloadInsights:
         pages_missed: int = 0,
         backend: str = "",
         trace: Trace | None = None,
+        tables: tuple[str, ...] = (),
     ) -> None:
         """Fold one service-layer execution into every store."""
         if not self.enabled:
@@ -475,6 +505,7 @@ class WorkloadInsights:
             pages_hit=pages_hit,
             pages_missed=pages_missed,
             backend=backend,
+            tables=tables,
         )
         if seconds >= self.slow.threshold_seconds:
             self.slow.record(
@@ -490,9 +521,18 @@ class WorkloadInsights:
         if self.enabled:
             self.profile.add_trace(trace)
 
-    def on_catalog_change(self) -> None:
-        """DDL happened: reset digests alongside the plan cache."""
-        self.digests.reset()
+    def on_catalog_change(
+        self, table: str | None = None, kind: str = "ddl"
+    ) -> None:
+        """A catalogue mutation happened: reset what it staled.
+
+        Mirrors the plan cache: DML on a named table drops only that
+        table's digests, DDL/``analyze`` resets wholesale.
+        """
+        if kind == "dml" and table is not None:
+            self.digests.reset(table)
+        else:
+            self.digests.reset()
 
     def reset(self) -> None:
         self.digests.reset()
@@ -586,6 +626,17 @@ class WorkloadInsights:
                     f"{digest.rows:>9} {hit_rate:>5} "
                     f"{digest.backend_split():<8} {digest.key[:70]}"
                 )
+        inter = self._intermediate_stats()
+        if inter is not None:
+            lines.append(
+                f"intermediate cache: {inter.entries} entr(ies), "
+                f"{inter.bytes / 1024:.0f} KiB of "
+                f"{inter.capacity_bytes / 1024:.0f} KiB, "
+                f"{inter.hits} hit(s) / {inter.misses} miss(es) "
+                f"({inter.hit_rate * 100:.0f}%), "
+                f"{inter.evictions} eviction(s), "
+                f"{inter.invalidations} invalidation(s)"
+            )
         lines.append("")
         lines.append(self.slow.render_text(limit=min(top, 10)))
         if include_profile and self.profile.traces:
@@ -593,14 +644,24 @@ class WorkloadInsights:
             lines.append(self.profile.render_text())
         return "\n".join(lines)
 
+    def _intermediate_stats(self):
+        source = self.intermediates_source
+        if source is None:
+            return None
+        try:
+            return source()
+        except Exception:  # noqa: BLE001 - stats are advisory
+            return None
+
     # -- introspection / lifecycle ------------------------------------------
     def snapshot(self, top: int = 10) -> dict[str, Any]:
         """JSON-friendly summary (drives tests and tooling)."""
-        return {
+        result = {
             "statements": len(self.digests),
             "recorded": self.digests.recorded,
             "evictions": self.digests.evictions,
             "resets": self.digests.resets,
+            "scoped_resets": self.digests.scoped_resets,
             "digests": [d.to_dict() for d in self.digests.top(top)],
             "slow": {
                 "threshold_seconds": self.slow.threshold_seconds,
@@ -609,6 +670,18 @@ class WorkloadInsights:
             },
             "profile_traces": self.profile.traces,
         }
+        inter = self._intermediate_stats()
+        if inter is not None:
+            result["intermediate_cache"] = {
+                "entries": inter.entries,
+                "bytes": inter.bytes,
+                "capacity_bytes": inter.capacity_bytes,
+                "hits": inter.hits,
+                "misses": inter.misses,
+                "evictions": inter.evictions,
+                "invalidations": inter.invalidations,
+            }
+        return result
 
     def close(self) -> None:
         if self._closed:

@@ -62,6 +62,7 @@ GATED_METRICS: dict[str, tuple[tuple[str, bool, bool], ...]] = {
         ("qps", True, True),
         ("p99_ms", False, True),
     ),
+    "BENCH_write_cache.json": (("staging_speedup", True, True),),
 }
 
 

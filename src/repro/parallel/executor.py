@@ -112,6 +112,7 @@ from repro.parallel.merge import (
     merge_partition_sorted_runs,
     merge_sorted_runs,
 )
+from repro.parallel.intermediates import staging_signature
 from repro.parallel.morsel import coarse_morsel_pages, morsels_for
 from repro.parallel.proc import CallTask, ScanTask
 from repro.parallel.stats import (
@@ -202,14 +203,17 @@ class _Report:
         default_factory=threading.Lock, repr=False, compare=False
     )
 
-    def skip(self, reason: str) -> None:
+    def skip(self, reason: str, mark_span: bool = True) -> None:
         # When tracing, mark the scheduling node so EXPLAIN ANALYZE can
         # flag the serial fallback per operator, not just in run notes.
         # Run-level skips (backend fallback) happen under the engine's
-        # execute span, which the category guard excludes.
-        span = current_span()
-        if span is not None and span.category == "node":
-            span.set(serial=True, serial_reason=reason[:160])
+        # execute span, which the category guard excludes.  A cache
+        # reuse passes ``mark_span=False``: it is a win, not a
+        # fallback, and carries its own span attribute.
+        if mark_span:
+            span = current_span()
+            if span is not None and span.category == "node":
+                span.set(serial=True, serial_reason=reason[:160])
         with self._lock:
             if reason not in self.skips:
                 self.skips.append(reason)
@@ -397,6 +401,11 @@ class ParallelExecutor:
         #: from observed per-operator rates instead of static seeds.
         self.profile_source = None
         self._profile_seeded = False
+        #: Optional :class:`~repro.parallel.intermediates.IntermediateCache`
+        #: wired by the embedding database; when set, staged scan
+        #: outputs are reused across executions keyed on the table's
+        #: version epoch (see :meth:`_ScheduledRun._scan`).
+        self.intermediates = None
         self.parallel_runs = 0
         self.serial_runs = 0
 
@@ -1170,6 +1179,32 @@ class _ScheduledRun:
         """
         table = op.table
         config = self.config
+        # Version-keyed intermediate reuse: an unfused, non-hand-off
+        # staged scan whose table has not mutated since a previous
+        # execution can skip the whole scan + staging + merge pass.
+        cache = self.executor.intermediates
+        signature = None
+        if (
+            cache is not None
+            and fused is None
+            and op.op_id not in self._handoff_ops
+        ):
+            signature = staging_signature(op, self.params)
+            staged = cache.get(table.name.lower(), table.version, signature)
+            if staged is not None:
+                self.results[op.op_id] = staged
+                self.report.skip(
+                    f"table {op.binding!r}: staging reused a cached "
+                    f"intermediate (version {table.version})",
+                    mark_span=False,
+                )
+                span = current_span()
+                if span is not None and span.category == "node":
+                    span.set(staging_cached=True)
+                self.report.note(
+                    "stage", time.perf_counter(), time.perf_counter(), 1, 1
+                )
+                return False
         if table.num_pages < config.min_pages:
             self.report.skip(
                 f"table {op.binding!r}: {table.num_pages} pages "
@@ -1279,7 +1314,10 @@ class _ScheduledRun:
             return False
 
         with maybe_span("merge", "merge", kind=op.prep.kind):
-            self.results[op.op_id] = _merge_prep_partials(op.prep, ordered)
+            staged = _merge_prep_partials(op.prep, ordered)
+        self.results[op.op_id] = staged
+        if signature is not None:
+            cache.put(table.name.lower(), table.version, signature, staged)
         return False
 
     def _fusable_consumer(self, op: ScanStage, following):

@@ -1,0 +1,202 @@
+"""Version-keyed cache of staged scan intermediates.
+
+Staging — the partition/sort pass that converts a table's pages into
+the layout a join or aggregation consumes — dominates per-query cost in
+the paper's Table III breakdowns.  For a warm repeated query the pages
+have not changed, so the staged structure has not either: entries are
+keyed ``(table, version, signature)``, where ``version`` is the table's
+monotonic mutation epoch and ``signature`` captures everything else
+that shapes the staged output (prep kind and keys, projected columns,
+rendered filters, the parameter vector).  A DML mutation moves the
+version, so stale entries simply stop being reachable; the owning
+database additionally drops them eagerly through the catalogue's
+change listeners.
+
+Generated join/merge templates sort their inputs *in place*, so both
+``put`` and ``get`` copy the two container levels that execution
+mutates (the outer list/dict and each bucket).  Row tuples are
+immutable and shared.
+
+The cache is bytes-bounded LRU: staged intermediates can dwarf the
+plans that produced them, so the budget is expressed in (approximate)
+payload bytes rather than entry count.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+#: Default budget: staged rows for a handful of warm statements.
+DEFAULT_CAPACITY_BYTES = 32 * 1024 * 1024
+
+
+@dataclass
+class IntermediateCacheStats:
+    """Point-in-time effectiveness counters."""
+
+    capacity_bytes: int
+    entries: int
+    bytes: int
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def staging_signature(op, params: tuple) -> tuple:
+    """The non-version part of a scan's cache key.
+
+    ``op`` is a :class:`~repro.plan.descriptors.ScanStage`.  The
+    rendered filters carry literal values and parameter slot indexes;
+    the parameter vector pins the slots' values, so two executions of
+    one cached plan with different parameters never share an entry.
+    """
+    prep = op.prep
+    return (
+        op.binding,
+        prep.kind,
+        tuple(prep.keys),
+        prep.num_partitions,
+        prep.fine,
+        tuple((s.binding, s.column) for s in op.output_layout.slots),
+        repr(op.filters),
+        tuple(params),
+    )
+
+
+def _copy_staged(value: Any) -> Any:
+    """Copy the mutable container levels of a staged structure.
+
+    Shapes per prep kind: flat row list (none/sort), list of bucket
+    lists (coarse partition / partition-sort), dict key → row list
+    (fine partition).  Rows are tuples and safe to share.
+    """
+    if isinstance(value, dict):
+        return {key: list(rows) for key, rows in value.items()}
+    if isinstance(value, list):
+        if value and isinstance(value[0], list):
+            return [list(bucket) for bucket in value]
+        return list(value)
+    return value
+
+
+def _approx_bytes(value: Any) -> int:
+    """Rough payload size: per-row overhead plus per-field slots."""
+    if isinstance(value, dict):
+        buckets = value.values()
+    elif value and isinstance(value[0], list):
+        buckets = value
+    else:
+        buckets = (value,)
+    total = 64
+    for bucket in buckets:
+        total += 64
+        for row in bucket:
+            total += 56 + 16 * len(row)
+    return total
+
+
+class IntermediateCache:
+    """Thread-safe, bytes-bounded LRU of staged scan outputs."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
+        if capacity_bytes <= 0:
+            raise ValueError("intermediate cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        #: (table, version, signature) → (staged value, size bytes)
+        self._entries: "OrderedDict[tuple, tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, table: str, version: int, signature: tuple) -> Any:
+        """The cached staged structure (a private copy), or None."""
+        key = (table, version, signature)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            value = entry[0]
+        # Copy outside the lock: hit copies can be large.
+        return _copy_staged(value)
+
+    def put(
+        self, table: str, version: int, signature: tuple, value: Any
+    ) -> None:
+        """Store a copy of ``value``; evicts LRU entries over budget.
+
+        A value too large for the whole budget is simply not admitted.
+        """
+        size = _approx_bytes(value)
+        if size > self.capacity_bytes:
+            return
+        copied = _copy_staged(value)
+        key = (table, version, signature)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (copied, size)
+            self._bytes += size
+            while self._bytes > self.capacity_bytes and len(self._entries) > 1:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self._evictions += 1
+
+    def invalidate_table(self, table: str | None) -> int:
+        """Drop entries for one table (or all with ``None``).
+
+        DML makes old-version entries unreachable on its own; this
+        frees their memory eagerly.  DDL *must* call it (or
+        :meth:`clear`): a dropped-and-recreated table restarts its
+        version epoch at zero, which would otherwise alias old entries.
+        """
+        with self._lock:
+            if table is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                self._bytes = 0
+            else:
+                doomed = [
+                    key for key in self._entries if key[0] == table
+                ]
+                for key in doomed:
+                    _, size = self._entries.pop(key)
+                    self._bytes -= size
+                dropped = len(doomed)
+            self._invalidations += dropped
+            return dropped
+
+    def clear(self) -> int:
+        """Drop everything; returns how many entries were dropped."""
+        return self.invalidate_table(None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> IntermediateCacheStats:
+        with self._lock:
+            return IntermediateCacheStats(
+                capacity_bytes=self.capacity_bytes,
+                entries=len(self._entries),
+                bytes=self._bytes,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+            )

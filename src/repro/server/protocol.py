@@ -33,6 +33,7 @@ from typing import Any
 from repro.errors import (
     AdmissionError,
     BindError,
+    ConstraintError,
     ExecutionError,
     LexerError,
     ParseError,
@@ -64,6 +65,7 @@ _ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
     (ParseError, "parse"),
     (LexerError, "parse"),
     (UnsupportedSqlError, "unsupported"),
+    (ConstraintError, "bad_request"),
     (BindError, "bind"),
     (ProtocolError, "bad_request"),
     (ServerError, "server"),
@@ -77,6 +79,9 @@ _ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
 _CODE_EXCEPTIONS: dict[str, type[BaseException]] = {}
 for _exc_type, _code in _ERROR_CODES:
     _CODE_EXCEPTIONS.setdefault(_code, _exc_type)
+# ``bad_request`` covers both malformed frames and DML constraint
+# violations; clients re-raise it as the protocol-level class.
+_CODE_EXCEPTIONS["bad_request"] = ProtocolError
 _CODE_EXCEPTIONS["shutting_down"] = ServerError
 _CODE_EXCEPTIONS["internal"] = ServerError
 

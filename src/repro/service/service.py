@@ -36,19 +36,25 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.engine import HiqueEngine, PreparedQuery
-from repro.errors import AdmissionError, ServiceError, WatchdogTimeout
+from repro.errors import (
+    AdmissionError,
+    CatalogError,
+    ServiceError,
+    WatchdogTimeout,
+)
 from repro.obs import current_span, default_observability
 from repro.plan.optimizer import Optimizer
 from repro.service.cache import CacheStats, PlanCache
+from repro.service.dml import dml_param_dtypes, execute_dml
 from repro.service.statement import PreparedStatement
 from repro.sql import ast
+from repro.sql.binder import Binder
 from repro.sql.bound import param_dtypes_of
 from repro.sql.parameters import (
     ParameterizedQuery,
-    parameterize,
-    substitute_parameters,
+    parameterize_statement,
 )
-from repro.sql.parser import parse
+from repro.sql.parser import parse_statement
 
 
 @dataclass
@@ -86,17 +92,32 @@ class _CachedPlan:
     key: str
     #: Compiled query for the code-generating engines; None otherwise.
     prepared: PreparedQuery | None = None
-    #: Normalized AST for the interpreting engines (parameters are
-    #: substituted per execution, then bound and planned).
+    #: Normalized AST for the interpreting engines.
     query: ast.Query | None = field(default=None, repr=False)
-    #: Parameter index → bound type, for execute-time value checking
-    #: (codegen path only; the interpreting path re-binds per call and
-    #: type-checks there).
+    #: Bound-and-optimized physical plan for the interpreting engines —
+    #: parameters stay symbolic and are supplied per execution, so
+    #: repeats skip parse + bind + optimize exactly like codegen plans
+    #: skip the four Table III stages.
+    physical: Any = field(default=None, repr=False)
+    #: Bound DML statement (INSERT/UPDATE/DELETE); None for queries.
+    bound: Any = field(default=None, repr=False)
+    #: Parameter index → bound type, for execute-time value checking.
     param_dtypes: dict = field(default_factory=dict, repr=False)
+    #: ``(table, version)`` pairs this plan was built against; empty for
+    #: version-independent plans (DML re-reads the table at execution).
+    deps: tuple[tuple[str, int], ...] = ()
 
 
 #: Engine kinds served by parameterized generated code.
 _CODEGEN_KINDS = ("hique", "hique-o0")
+
+
+def _statement_tables(statement: PreparedStatement) -> tuple[str, ...]:
+    """Lowercased table names a statement touches (from its AST)."""
+    query = statement.parameterized.query
+    if isinstance(query, ast.Query):
+        return tuple(sorted({t.name.lower() for t in query.tables}))
+    return (query.table.lower(),)
 
 
 def _check_param_values(param_dtypes: dict, values: tuple) -> None:
@@ -235,7 +256,7 @@ class QueryService:
                     key=key,
                     parameterized=parameterized,
                 )
-        parameterized = parameterize(parse(sql))
+        parameterized = parameterize_statement(parse_statement(sql))
         with self._state_lock:
             self._text_index[text_key] = (parameterized.key, parameterized)
             while len(self._text_index) > self._text_capacity:
@@ -280,7 +301,9 @@ class QueryService:
         avoided, not how often the entry was looked at.
         """
         cache_key = (
-            statement.engine_kind,
+            # DML plans are engine-independent: every front-end kind
+            # shares one bound statement per shape.
+            "dml" if statement.is_dml else statement.engine_kind,
             statement.key,
             statement.parameterized.type_signature,
         )
@@ -289,6 +312,14 @@ class QueryService:
             if count
             else self.cache.peek(cache_key)
         )
+        if entry is not None and not self._deps_current(entry.value):
+            # Backstop for mutations that bypassed the catalogue's
+            # listeners (direct Table writes in embedding code): the
+            # recorded (table, version) deps are re-validated before an
+            # entry is trusted.  The stale hit was already counted —
+            # acceptable skew for a path listeners normally keep cold.
+            self.cache.invalidate(cache_key)
+            entry = None
         if count:
             self._local.cache_hit = entry is not None
             span = current_span()
@@ -314,29 +345,70 @@ class QueryService:
                 else:
                     size = len(statement.key.encode("utf-8"))
                 self.cache.put(
-                    cache_key, plan, cost_seconds=cost, size_bytes=size
+                    cache_key,
+                    plan,
+                    cost_seconds=cost,
+                    size_bytes=size,
+                    deps=plan.deps,
                 )
         finally:
             with self._state_lock:
                 self._build_locks.pop(cache_key, None)
         return plan
 
+    def _deps_current(self, plan: _CachedPlan) -> bool:
+        """Whether every recorded (table, version) dep is still live."""
+        for name, version in plan.deps:
+            try:
+                table = self.database.catalog.table(name)
+            except CatalogError:
+                return False
+            if table.version != version:
+                return False
+        return True
+
+    @staticmethod
+    def _bound_deps(tables) -> tuple[tuple[str, int], ...]:
+        """(table, version) deps from a bound query's FROM entries."""
+        return tuple(
+            (bt.table.name.lower(), bt.table.version) for bt in tables
+        )
+
     def _build_plan(
         self, statement: PreparedStatement
     ) -> tuple[_CachedPlan, float]:
-        # Caller holds the read gate and the statement's build lock.
+        # Caller holds the read gate (or the write gate for DML) and
+        # the statement's build lock.
         kind = statement.engine_kind
         parameterized = statement.parameterized
+        param_dtypes = {
+            i: dtype
+            for i, dtype in enumerate(parameterized.dtypes)
+            if dtype is not None
+        }
+        if statement.is_dml:
+            # Binding resolves the target table and type-checks values;
+            # the bound statement is version-independent (execution
+            # reads live pages), so only wholesale DDL invalidation
+            # removes it — a DML plan survives its own mutations.
+            started = time.perf_counter()
+            bound = Binder(self.database.catalog).bind_statement(
+                parameterized.query, param_dtypes=param_dtypes
+            )
+            plan = _CachedPlan(
+                engine_kind="dml",
+                key=statement.key,
+                bound=bound,
+                param_dtypes=dml_param_dtypes(bound),
+                deps=(),
+            )
+            return plan, time.perf_counter() - started
         if kind in _CODEGEN_KINDS:
             engine: HiqueEngine = self.database.engine(kind)
             prepared = engine.prepare(
                 statement.key,
                 query=parameterized.query,
-                param_dtypes={
-                    i: dtype
-                    for i, dtype in enumerate(parameterized.dtypes)
-                    if dtype is not None
-                },
+                param_dtypes=param_dtypes,
                 use_cache=False,
             )
             return (
@@ -345,15 +417,29 @@ class QueryService:
                     key=statement.key,
                     prepared=prepared,
                     param_dtypes=param_dtypes_of(prepared.bound),
+                    deps=self._bound_deps(prepared.bound.tables),
                 ),
                 prepared.timings.total_seconds,
             )
-        # Interpreting engines: cache the normalized AST (skips lex +
-        # parse on repeats); binding and planning re-run per execution
-        # because their plans inline constant values.
+        # Interpreting engines: bind and optimize once, with parameters
+        # kept symbolic.  Repeated executions supply fresh values into
+        # the cached physical plan — the same amortization the codegen
+        # path gets, minus compilation.
         started = time.perf_counter()
+        engine = self.database.engine(kind)
+        bound = engine.binder.bind(
+            parameterized.query, param_dtypes=param_dtypes
+        )
+        physical = Optimizer(
+            self.database.catalog, engine.planner_config
+        ).plan(bound)
         plan = _CachedPlan(
-            engine_kind=kind, key=statement.key, query=parameterized.query
+            engine_kind=kind,
+            key=statement.key,
+            query=parameterized.query,
+            physical=physical,
+            param_dtypes=param_dtypes_of(bound),
+            deps=self._bound_deps(bound.tables),
         )
         return plan, time.perf_counter() - started
 
@@ -408,7 +494,9 @@ class QueryService:
                 statement=statement.key[:200],
             ) as span:
                 span_obj = span
-                if kind in _CODEGEN_KINDS:
+                if statement.is_dml:
+                    rows = self._execute_dml_statement(statement, values)
+                elif kind in _CODEGEN_KINDS:
                     # One read scope spans plan lookup AND execution, so
                     # a concurrent DDL cannot invalidate the plan in
                     # between (its compiled module embeds table objects).
@@ -420,11 +508,9 @@ class QueryService:
                             plan.prepared, params=values
                         )
                 else:
-                    # Interpreting engines re-bind per execution, so a
-                    # stale cached AST is harmless — binding re-resolves
-                    # (or rejects) the tables.
-                    plan = self._ensure_plan(statement)
-                    rows = self._execute_interpreted(kind, plan, values)
+                    rows = self._execute_interpreted(
+                        kind, statement, values
+                    )
                 if span is not None:
                     span.set(rows=len(rows))
                 rows_out = rows
@@ -510,6 +596,7 @@ class QueryService:
                 pages_missed=pages_missed,
                 backend=backend,
                 trace=span.trace if span is not None else None,
+                tables=_statement_tables(statement),
             )
         except Exception:
             self.obs.registry.counter(
@@ -526,22 +613,38 @@ class QueryService:
         return hist
 
     def _execute_interpreted(
-        self, kind: str, plan: _CachedPlan, values: tuple
+        self, kind: str, statement: PreparedStatement, values: tuple
     ) -> list[tuple]:
-        """Substitute parameters and run an interpreting engine.
+        """Run an interpreting engine's cached physical plan.
 
-        Binding, planning and iterator/vector execution are all
-        per-call state over read-only inputs, so concurrent sessions
-        run them simultaneously under the read gate.
+        One read scope spans plan lookup and execution — the cached
+        plan embeds table objects, so a concurrent writer must not
+        slip between the two.  Parameters stay symbolic in the plan
+        and are supplied per call, mirroring the codegen path.
         """
         engine = self.database.engine(kind)
-        substituted = substitute_parameters(plan.query, values)
         with self._gate.read():
-            bound = engine.binder.bind(substituted)
-            physical = Optimizer(
-                self.database.catalog, engine.planner_config
-            ).plan(bound)
-            return engine.execute_plan(physical)
+            plan = self._plan_under_gate(statement)
+            _check_param_values(plan.param_dtypes, values)
+            return engine.execute_plan(plan.physical, params=values)
+
+    def _execute_dml_statement(
+        self, statement: PreparedStatement, values: tuple
+    ) -> list[tuple]:
+        """Run one DML statement under the catalogue's write gate.
+
+        The result is a single ``(rows_affected,)`` row, uniform across
+        every front-end.  Plan lookup happens under the same exclusive
+        scope as execution — cheap (DML plans are just bound ASTs) and
+        race-free: the version epoch moves and the listeners fire
+        before the gate is released.
+        """
+        catalog = self.database.catalog
+        with catalog.exclusive():
+            plan = self._plan_under_gate(statement)
+            _check_param_values(plan.param_dtypes, values)
+            count = execute_dml(catalog, plan.bound, values)
+        return [(count,)]
 
     def execute_many(
         self,
@@ -558,20 +661,11 @@ class QueryService:
     ) -> list[str]:
         """Column names of a statement's result, from the cached plan."""
         plan = self._ensure_plan(statement, count=False)
+        if plan.bound is not None:
+            return ["rows_affected"]
         if plan.prepared is not None:
             return plan.prepared.plan.output_names
-        parameterized = statement.parameterized
-        engine = self.database.engine(statement.engine_kind)
-        with self._gate.read():
-            bound = engine.binder.bind(
-                parameterized.query,
-                param_dtypes={
-                    i: dtype
-                    for i, dtype in enumerate(parameterized.dtypes)
-                    if dtype is not None
-                },
-            )
-        return bound.output_names()
+        return plan.physical.output_names
 
     def physical_plan(
         self,
@@ -581,23 +675,21 @@ class QueryService:
     ):
         """The physical plan a statement would execute (for EXPLAIN).
 
-        For the code-generating engines this is the cached prepared
-        plan; the interpreting engines re-plan with the supplied
-        parameters substituted, mirroring what execution does.
+        Every engine kind now caches a parameterized plan, so this is
+        the cached plan in both cases; ``params`` is accepted for
+        interface stability but does not change the plan's shape.
         """
         kind = engine or self.default_engine
         statement = self._resolve(sql, kind)
+        if statement.is_dml:
+            raise ServiceError(
+                "DML statements execute directly against storage; "
+                "there is no physical plan to explain"
+            )
         plan = self._ensure_plan(statement, count=False)
         if plan.prepared is not None:
             return plan.prepared.plan
-        values = statement.resolve_params(params, allow_override=False)
-        built = self.database.engine(kind)
-        substituted = substitute_parameters(plan.query, values)
-        with self._gate.read():
-            bound = built.binder.bind(substituted)
-            return Optimizer(
-                self.database.catalog, built.planner_config
-            ).plan(bound)
+        return plan.physical
 
     # -- concurrent sessions ---------------------------------------------------------
     def submit(
@@ -703,21 +795,33 @@ class QueryService:
                 self._failed += 1
 
     # -- invalidation ------------------------------------------------------------------
-    def _on_catalog_change(self, table: str | None) -> None:
-        """DDL or ``analyze`` happened: cached plans may be stale.
+    def _on_catalog_change(
+        self, table: str | None, kind: str = "ddl"
+    ) -> None:
+        """A catalogue mutation happened: invalidate what it staled.
 
-        Plans embed table objects, schema offsets and statistics-driven
-        algorithm choices, so the whole cache is dropped (the paper's
-        systems do the same — a prepared statement is re-optimized when
-        its dependencies change).
+        DML moves one table's version epoch but changes no schema or
+        statistics, so only the entries whose recorded deps name that
+        table are dropped — plans over other tables, and the DML plans
+        themselves (version-independent), survive, as does the raw-text
+        index (text → shape normalization never goes stale).  DDL and
+        ``analyze`` can change plan shape and plan choice, so they keep
+        the wholesale policy (the paper's systems do the same — a
+        prepared statement is re-optimized when its dependencies
+        change).
         """
+        if kind == "dml" and table is not None:
+            self.cache.invalidate_table(table)
+            if self.insights is not None:
+                self.insights.on_catalog_change(table, kind="dml")
+            return
         self.cache.invalidate()
         with self._state_lock:
             self._text_index.clear()
         # Digests describe executions of the invalidated plans; reset
         # them with the same blanket policy the plan cache uses.
         if self.insights is not None:
-            self.insights.on_catalog_change()
+            self.insights.on_catalog_change(table, kind=kind)
 
     # -- introspection -----------------------------------------------------------------
     def _collect_metrics(self, registry) -> None:

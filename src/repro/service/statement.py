@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.errors import ServiceError
+from repro.sql import ast
 from repro.sql.parameters import ParameterizedQuery
 from repro.storage.types import date_to_ordinal
 
@@ -36,6 +37,11 @@ class PreparedStatement:
     def num_params(self) -> int:
         """Parameters the statement expects at execute time."""
         return self.parameterized.num_params
+
+    @property
+    def is_dml(self) -> bool:
+        """True for INSERT/UPDATE/DELETE shapes (engine-independent)."""
+        return not isinstance(self.parameterized.query, ast.Query)
 
     @property
     def default_params(self) -> tuple[Any, ...]:

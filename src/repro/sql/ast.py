@@ -152,6 +152,50 @@ class Query:
         )
 
 
+# -- DML statements -----------------------------------------------------------
+
+
+@dataclass
+class Insert:
+    """A parsed ``INSERT INTO name [(cols)] VALUES (...), ...``."""
+
+    table: str
+    #: Explicit column list, or None for positional (schema-order) inserts.
+    columns: list[str] | None
+    #: One expression list per VALUES row.
+    rows: list[list[Expr]] = field(default_factory=list)
+
+
+@dataclass
+class Assignment:
+    """One ``column = expr`` item of an UPDATE's SET list."""
+
+    column: str
+    value: Expr
+
+
+@dataclass
+class Update:
+    """A parsed ``UPDATE name SET col = expr, ... [WHERE ...]``."""
+
+    table: str
+    assignments: list[Assignment] = field(default_factory=list)
+    where: list[Comparison] = field(default_factory=list)
+
+
+@dataclass
+class Delete:
+    """A parsed ``DELETE FROM name [WHERE ...]``."""
+
+    table: str
+    where: list[Comparison] = field(default_factory=list)
+
+
+#: Union of the statement kinds :func:`repro.sql.parser.parse_statement`
+#: can return.
+Statement = Query | Insert | Update | Delete
+
+
 def _contains_aggregate(expr: Expr) -> bool:
     if isinstance(expr, Aggregate):
         return True

@@ -18,25 +18,30 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from repro.errors import BindError, UnsupportedSqlError
+from repro.errors import BindError, ConstraintError, UnsupportedSqlError
 from repro.sql import ast
 from repro.sql.bound import (
     UNTYPED,
     BoundAggregate,
     BoundArithmetic,
+    BoundAssignment,
     BoundColumn,
     BoundComparison,
+    BoundDelete,
     BoundExpr,
+    BoundInsert,
     BoundLiteral,
     BoundOutput,
     BoundParameter,
     BoundQuery,
+    BoundStatement,
     BoundTable,
+    BoundUpdate,
     JoinPredicate,
     bindings_in,
     is_untyped_parameter,
 )
-from repro.sql.parameters import count_parameters
+from repro.sql.parameters import count_parameters, count_statement_parameters
 from repro.storage.catalog import Catalog
 from repro.storage.types import DATE, DOUBLE, INT, DataType, char
 
@@ -348,8 +353,222 @@ class Binder:
             "ORDER BY keys must appear in the select list"
         )
 
+    # -- DML -----------------------------------------------------------------------
+    def bind_statement(
+        self,
+        statement: ast.Statement,
+        param_dtypes: Mapping[int, DataType] | None = None,
+    ) -> BoundStatement:
+        """Bind any supported statement kind (SELECT or DML)."""
+        if isinstance(statement, ast.Query):
+            return self.bind(statement, param_dtypes)
+        if isinstance(statement, ast.Insert):
+            return self.bind_insert(statement, param_dtypes)
+        if isinstance(statement, ast.Update):
+            return self.bind_update(statement, param_dtypes)
+        if isinstance(statement, ast.Delete):
+            return self.bind_delete(statement, param_dtypes)
+        raise BindError(f"cannot bind statement {statement!r}")
+
+    def bind_insert(
+        self,
+        statement: ast.Insert,
+        param_dtypes: Mapping[int, DataType] | None = None,
+    ) -> BoundInsert:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        targets = self._insert_targets(statement, schema)
+        dtypes = dict(param_dtypes or {})
+        # Value expressions may not reference columns: binding against an
+        # empty scaffold makes any ColumnRef an "unknown column" error.
+        scaffold = BoundQuery()
+        rows: list[list[BoundExpr]] = []
+        for row in statement.rows:
+            if len(row) != len(targets):
+                raise ConstraintError(
+                    f"INSERT row has {len(row)} value(s), expected "
+                    f"{len(targets)}"
+                )
+            by_position: list[BoundExpr | None] = [None] * len(schema)
+            for expr, position in zip(row, targets):
+                column = schema[position]
+                value = self.bind_expr(
+                    expr, scaffold, allow_aggregates=False,
+                    param_dtypes=dtypes,
+                )
+                by_position[position] = _coerce_dml_value(
+                    value, table.name, column
+                )
+            rows.append([e for e in by_position if e is not None])
+        bound = BoundInsert(
+            table, rows, count_statement_parameters(statement)
+        )
+        _check_no_untyped_dml(bound)
+        return bound
+
+    @staticmethod
+    def _insert_targets(statement: ast.Insert, schema) -> list[int]:
+        """Schema positions for the statement's value columns, in order.
+
+        Tuples are fixed length with no NULLs or defaults, so every
+        column must be supplied — positionally, or by an explicit column
+        list covering the whole schema in any order.
+        """
+        if statement.columns is None:
+            return list(range(len(schema)))
+        names = [c.lower() for c in statement.columns]
+        if len(set(names)) != len(names):
+            raise ConstraintError("duplicate column in INSERT column list")
+        positions = []
+        for name in names:
+            if not schema.has_column(name):
+                raise BindError(
+                    f"table {statement.table!r} has no column {name!r}"
+                )
+            positions.append(schema.index_of(name))
+        if len(positions) != len(schema):
+            missing = [
+                c.name
+                for i, c in enumerate(schema)
+                if i not in set(positions)
+            ]
+            raise ConstraintError(
+                f"INSERT must supply every column; missing "
+                f"{', '.join(missing)}"
+            )
+        return positions
+
+    def bind_update(
+        self,
+        statement: ast.Update,
+        param_dtypes: Mapping[int, DataType] | None = None,
+    ) -> BoundUpdate:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        binding = statement.table.lower()
+        scaffold = BoundQuery()
+        scaffold.tables.append(BoundTable(binding, table))
+        scaffold.filters[binding] = []
+        dtypes = dict(param_dtypes or {})
+        assignments: list[BoundAssignment] = []
+        seen: set[int] = set()
+        for item in statement.assignments:
+            name = item.column.lower()
+            if not schema.has_column(name):
+                raise BindError(
+                    f"table {statement.table!r} has no column "
+                    f"{item.column!r}"
+                )
+            position = schema.index_of(name)
+            if position in seen:
+                raise ConstraintError(
+                    f"column {item.column!r} assigned twice"
+                )
+            seen.add(position)
+            column = schema[position]
+            value = self.bind_expr(
+                item.value, scaffold, allow_aggregates=False,
+                param_dtypes=dtypes,
+            )
+            assignments.append(
+                BoundAssignment(
+                    position,
+                    column.name,
+                    _coerce_dml_value(value, table.name, column),
+                )
+            )
+        where = self._bind_dml_where(statement.where, scaffold, dtypes)
+        bound = BoundUpdate(
+            table, binding, assignments, where,
+            count_statement_parameters(statement),
+        )
+        _check_no_untyped_dml(bound)
+        return bound
+
+    def bind_delete(
+        self,
+        statement: ast.Delete,
+        param_dtypes: Mapping[int, DataType] | None = None,
+    ) -> BoundDelete:
+        table = self.catalog.table(statement.table)
+        binding = statement.table.lower()
+        scaffold = BoundQuery()
+        scaffold.tables.append(BoundTable(binding, table))
+        scaffold.filters[binding] = []
+        where = self._bind_dml_where(
+            statement.where, scaffold, dict(param_dtypes or {})
+        )
+        bound = BoundDelete(
+            table, binding, where, count_statement_parameters(statement)
+        )
+        _check_no_untyped_dml(bound)
+        return bound
+
+    def _bind_dml_where(
+        self,
+        where: list[ast.Comparison],
+        scaffold: BoundQuery,
+        param_dtypes: Mapping[int, DataType],
+    ) -> list[BoundComparison]:
+        """Bind a single-table WHERE clause (no joins possible)."""
+        conjuncts: list[BoundComparison] = []
+        for conjunct in where:
+            left = self.bind_expr(
+                conjunct.left, scaffold, allow_aggregates=False,
+                param_dtypes=param_dtypes,
+            )
+            right = self.bind_expr(
+                conjunct.right, scaffold, allow_aggregates=False,
+                param_dtypes=param_dtypes,
+            )
+            left, right = _unify_comparison_params(left, right)
+            _check_comparable(left, right, conjunct.op)
+            conjuncts.append(BoundComparison(conjunct.op, left, right))
+        return conjuncts
+
 
 # -- helpers ---------------------------------------------------------------------
+
+
+def _coerce_dml_value(
+    expr: BoundExpr, table_name: str, column
+) -> BoundExpr:
+    """Type a DML value expression against its target column."""
+    if is_untyped_parameter(expr):
+        expr = BoundParameter(expr.index, column.dtype)
+    if not expr.dtype.comparable_with(column.dtype):
+        raise ConstraintError(
+            f"cannot store {expr.dtype.name} into "
+            f"{table_name}.{column.name} ({column.dtype.name})"
+        )
+    return expr
+
+
+def _check_no_untyped_dml(
+    bound: BoundInsert | BoundUpdate | BoundDelete,
+) -> None:
+    """DML counterpart of :func:`_check_no_untyped`."""
+
+    def walk(expr: BoundExpr) -> None:
+        if is_untyped_parameter(expr):
+            raise BindError(
+                f"cannot infer the type of parameter ?{expr.index + 1}"
+            )
+        if isinstance(expr, BoundArithmetic):
+            walk(expr.left)
+            walk(expr.right)
+
+    if isinstance(bound, BoundInsert):
+        for row in bound.rows:
+            for expr in row:
+                walk(expr)
+        return
+    if isinstance(bound, BoundUpdate):
+        for assignment in bound.assignments:
+            walk(assignment.expr)
+    for comparison in bound.where:
+        walk(comparison.left)
+        walk(comparison.right)
 
 
 def _bind_literal(literal: ast.Literal) -> BoundLiteral:

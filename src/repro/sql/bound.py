@@ -165,6 +165,54 @@ class BoundQuery:
         return [o.name for o in self.select]
 
 
+# -- DML -----------------------------------------------------------------------
+
+
+@dataclass
+class BoundInsert:
+    """A typed INSERT: one expression list per row, in schema order."""
+
+    table: Table
+    #: Each inner list has exactly one expression per schema column.
+    rows: list[list[BoundExpr]] = field(default_factory=list)
+    num_params: int = 0
+
+
+@dataclass(frozen=True)
+class BoundAssignment:
+    """One SET item of an UPDATE, resolved to a schema column position."""
+
+    position: int
+    column: str
+    expr: BoundExpr
+
+
+@dataclass
+class BoundUpdate:
+    """A typed UPDATE over a single table."""
+
+    table: Table
+    binding: str
+    assignments: list[BoundAssignment] = field(default_factory=list)
+    where: list[BoundComparison] = field(default_factory=list)
+    num_params: int = 0
+
+
+@dataclass
+class BoundDelete:
+    """A typed DELETE over a single table."""
+
+    table: Table
+    binding: str
+    where: list[BoundComparison] = field(default_factory=list)
+    num_params: int = 0
+
+
+#: Union of everything :meth:`repro.sql.binder.Binder.bind_statement`
+#: can return.
+BoundStatement = BoundQuery | BoundInsert | BoundUpdate | BoundDelete
+
+
 def columns_in(expr: BoundExpr) -> list[BoundColumn]:
     """All column references inside a bound expression, in visit order."""
     out: list[BoundColumn] = []

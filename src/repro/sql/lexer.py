@@ -15,6 +15,7 @@ KEYWORDS = {
     "select", "from", "where", "and", "group", "order", "by", "as",
     "asc", "desc", "limit", "date", "interval", "day", "month", "year",
     "sum", "count", "avg", "min", "max", "distinct",
+    "insert", "into", "values", "update", "set", "delete",
 }
 
 #: Multi-character operators first so maximal munch works.

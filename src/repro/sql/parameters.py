@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.errors import BindError
 from repro.sql import ast
@@ -125,6 +125,38 @@ def count_parameters(query: ast.Query) -> int:
     for order in query.order_by:
         walk(order.expr)
     return len(found)
+
+
+def count_statement_parameters(statement: "ast.Statement") -> int:
+    """Parameter count for any statement kind (SELECT or DML)."""
+    if isinstance(statement, ast.Query):
+        return count_parameters(statement)
+    found: set[int] = set()
+
+    def walk(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Parameter):
+            found.add(expr.index)
+        elif isinstance(expr, ast.Arithmetic):
+            walk(expr.left)
+            walk(expr.right)
+
+    for expr in _statement_exprs(statement):
+        walk(expr)
+    return len(found)
+
+
+def _statement_exprs(statement: "ast.Statement") -> Iterator[ast.Expr]:
+    """Every scalar expression slot of a DML statement, in parse order."""
+    if isinstance(statement, ast.Insert):
+        for row in statement.rows:
+            yield from row
+        return
+    if isinstance(statement, ast.Update):
+        for assignment in statement.assignments:
+            yield assignment.value
+    for conjunct in statement.where:
+        yield conjunct.left
+        yield conjunct.right
 
 
 def parameter_hints(query: ast.Query) -> dict[int, str]:
@@ -338,3 +370,124 @@ def _render_literal(literal: ast.Literal) -> str:
         quoted = literal.value.replace("'", "''")
         return f"'{quoted}'"
     return repr(literal.value)
+
+
+# -- DML parameterization ----------------------------------------------------------
+#
+# DML statements parameterize *all* their literals, not just WHERE-clause
+# ones: VALUES and SET constants are pure data (they never shape the
+# plan), so ``INSERT INTO t VALUES (1, 'a')`` and ``... VALUES (2, 'b')``
+# share one bound statement, exactly as two point SELECTs share one
+# compiled plan.
+
+
+def parameterize_statement(
+    statement: "ast.Statement",
+) -> ParameterizedQuery:
+    """Normalize any statement kind for the plan cache.
+
+    SELECTs take the query path (:func:`parameterize`); DML statements
+    with explicit ``?`` markers pass through, literal-only DML has every
+    constant extracted.
+    """
+    if isinstance(statement, ast.Query):
+        return parameterize(statement)
+    explicit = count_statement_parameters(statement)
+    if explicit:
+        return ParameterizedQuery(
+            query=statement,
+            key=render_statement(statement),
+            values=(),
+            dtypes=(None,) * explicit,
+            num_params=explicit,
+        )
+    rewritten, pairs = _extract_statement_parameters(statement)
+    return ParameterizedQuery(
+        query=rewritten,
+        key=render_statement(rewritten),
+        values=tuple(v for v, _ in pairs),
+        dtypes=tuple(dtype_for_value(v, h) for v, h in pairs),
+        num_params=len(pairs),
+    )
+
+
+def _extract_statement_parameters(
+    statement: "ast.Statement",
+) -> tuple["ast.Statement", list[tuple[Any, str]]]:
+    pairs: list[tuple[Any, str]] = []
+
+    def rewrite(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Literal):
+            parameter = ast.Parameter(len(pairs), expr.type_hint)
+            pairs.append((expr.value, expr.type_hint))
+            return parameter
+        if isinstance(expr, ast.Arithmetic):
+            return ast.Arithmetic(
+                expr.op, rewrite(expr.left), rewrite(expr.right)
+            )
+        return expr
+
+    def rewrite_where(
+        where: list[ast.Comparison],
+    ) -> list[ast.Comparison]:
+        return [
+            ast.Comparison(c.op, rewrite(c.left), rewrite(c.right))
+            for c in where
+        ]
+
+    if isinstance(statement, ast.Insert):
+        rows = [[rewrite(e) for e in row] for row in statement.rows]
+        return ast.Insert(statement.table, statement.columns, rows), pairs
+    if isinstance(statement, ast.Update):
+        assignments = [
+            ast.Assignment(a.column, rewrite(a.value))
+            for a in statement.assignments
+        ]
+        return (
+            ast.Update(
+                statement.table, assignments,
+                rewrite_where(statement.where),
+            ),
+            pairs,
+        )
+    assert isinstance(statement, ast.Delete)
+    return (
+        ast.Delete(statement.table, rewrite_where(statement.where)),
+        pairs,
+    )
+
+
+def render_statement(statement: "ast.Statement") -> str:
+    """Canonical SQL for any statement kind (the plan-cache key)."""
+    if isinstance(statement, ast.Query):
+        return render_query(statement)
+    if isinstance(statement, ast.Insert):
+        parts = [f"INSERT INTO {statement.table}"]
+        if statement.columns is not None:
+            parts.append(f" ({', '.join(statement.columns)})")
+        parts.append(" VALUES ")
+        parts.append(
+            ", ".join(
+                "(" + ", ".join(_render(e) for e in row) + ")"
+                for row in statement.rows
+            )
+        )
+        return "".join(parts)
+    if isinstance(statement, ast.Update):
+        rendered = f"UPDATE {statement.table} SET " + ", ".join(
+            f"{a.column} = {_render(a.value)}"
+            for a in statement.assignments
+        )
+        return rendered + _render_where(statement.where)
+    assert isinstance(statement, ast.Delete)
+    return f"DELETE FROM {statement.table}" + _render_where(
+        statement.where
+    )
+
+
+def _render_where(where: list[ast.Comparison]) -> str:
+    if not where:
+        return ""
+    return " WHERE " + " AND ".join(
+        f"{_render(c.left)} {c.op} {_render(c.right)}" for c in where
+    )

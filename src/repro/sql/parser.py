@@ -37,15 +37,20 @@ from repro.sql.ast import (
     AGGREGATE_FUNCTIONS,
     Aggregate,
     Arithmetic,
+    Assignment,
     ColumnRef,
     Comparison,
+    Delete,
     Expr,
+    Insert,
     Literal,
     OrderItem,
     Parameter,
     Query,
     SelectItem,
+    Statement,
     TableRef,
+    Update,
 )
 from repro.sql.lexer import Token, tokenize
 from repro.storage.types import date_to_ordinal, ordinal_to_date
@@ -54,6 +59,40 @@ from repro.storage.types import date_to_ordinal, ordinal_to_date
 def parse(sql: str) -> Query:
     """Parse one SELECT statement into a :class:`~repro.sql.ast.Query`."""
     return _Parser(tokenize(sql)).parse_query()
+
+
+def parse_statement(sql: str) -> Statement:
+    """Parse one statement: SELECT, INSERT, UPDATE or DELETE.
+
+    DML uses the same expression grammar as queries, so ``?``
+    parameters are numbered left to right across the whole statement
+    exactly as they are in SELECT.
+    """
+    parser = _Parser(tokenize(sql))
+    head = parser._peek()
+    if head.is_keyword("insert"):
+        return parser.parse_insert()
+    if head.is_keyword("update"):
+        return parser.parse_update()
+    if head.is_keyword("delete"):
+        return parser.parse_delete()
+    return parser.parse_query()
+
+
+def statement_kind(sql: str) -> str:
+    """Cheap statement classification without a full parse.
+
+    Returns ``"insert"``, ``"update"``, ``"delete"`` or ``"select"``
+    by looking at the first token only — the service uses this to route
+    DML before paying for parsing under a lock.
+    """
+    for token in tokenize(sql):
+        if token.kind == "keyword" and token.text in (
+            "insert", "update", "delete",
+        ):
+            return token.text
+        return "select"
+    return "select"
 
 
 class _Parser:
@@ -131,6 +170,10 @@ class _Parser:
             if token.kind != "number":
                 raise ParseError(f"LIMIT expects a number, got {token.text!r}")
             query.limit = int(token.text)
+        self._finish()
+        return query
+
+    def _finish(self) -> None:
         self._accept_op(";")
         tail = self._peek()
         if tail.kind != "eof":
@@ -140,7 +183,60 @@ class _Parser:
                 f"unexpected trailing token {tail.text!r} at position "
                 f"{tail.position}"
             )
-        return query
+
+    # -- DML ------------------------------------------------------------------
+    def parse_insert(self) -> Insert:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_ident().text
+        columns: list[str] | None = None
+        if self._accept_op("("):
+            columns = [self._expect_ident().text]
+            while self._accept_op(","):
+                columns.append(self._expect_ident().text)
+            self._expect_op(")")
+        self._expect_keyword("values")
+        rows = [self._value_row()]
+        while self._accept_op(","):
+            rows.append(self._value_row())
+        self._finish()
+        return Insert(table, columns, rows)
+
+    def _value_row(self) -> list[Expr]:
+        self._expect_op("(")
+        values = [self._expr()]
+        while self._accept_op(","):
+            values.append(self._expr())
+        self._expect_op(")")
+        return values
+
+    def parse_update(self) -> Update:
+        self._expect_keyword("update")
+        table = self._expect_ident().text
+        self._expect_keyword("set")
+        assignments = [self._assignment()]
+        while self._accept_op(","):
+            assignments.append(self._assignment())
+        where: list[Comparison] = []
+        if self._accept_keyword("where"):
+            where = self._conjunction()
+        self._finish()
+        return Update(table, assignments, where)
+
+    def _assignment(self) -> Assignment:
+        column = self._expect_ident().text
+        self._expect_op("=")
+        return Assignment(column, self._expr())
+
+    def parse_delete(self) -> Delete:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_ident().text
+        where: list[Comparison] = []
+        if self._accept_keyword("where"):
+            where = self._conjunction()
+        self._finish()
+        return Delete(table, where)
 
     def _select_list(self) -> list[SelectItem]:
         if self._accept_op("*"):

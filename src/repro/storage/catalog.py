@@ -65,29 +65,43 @@ class Catalog:
         self._listeners: list[Callable[[str | None], None]] = []
 
     # -- change notification ------------------------------------------------------
-    def add_listener(self, listener: Callable[[str | None], None]) -> None:
-        """Register a callback fired after DDL or ``analyze``.
+    def add_listener(
+        self, listener: Callable[[str | None, str], None]
+    ) -> None:
+        """Register a callback fired after catalogue or data changes.
 
-        The callback receives the affected table name (lowercased), or
-        ``None`` when every table is affected.  The query service uses
-        this to invalidate cached plans, which embed table references
-        and statistics-driven algorithm choices.
+        The callback receives ``(name, kind)``: the affected table name
+        (lowercased, or ``None`` when every table is affected) and the
+        change kind — ``"ddl"`` for structural changes (create/drop/
+        register, ``analyze``) or ``"dml"`` for data mutations under an
+        unchanged schema.  The query service invalidates wholesale on
+        DDL but only version-dependent entries on DML.
         """
         with self._lock:
             self._listeners.append(listener)
 
     def remove_listener(
-        self, listener: Callable[[str | None], None]
+        self, listener: Callable[[str | None, str], None]
     ) -> None:
         with self._lock:
             if listener in self._listeners:
                 self._listeners.remove(listener)
 
-    def _notify(self, name: str | None) -> None:
+    def _notify(self, name: str | None, kind: str = "ddl") -> None:
         with self._lock:
             listeners = list(self._listeners)
         for listener in listeners:
-            listener(name)
+            listener(name, kind)
+
+    def notify_dml(self, name: str) -> None:
+        """Announce a data mutation of one table (schema unchanged).
+
+        Called by the DML executor and bulk-load paths *after* the
+        table's :attr:`~repro.storage.table.Table.version` has moved,
+        while still holding the write gate — listeners therefore observe
+        the new version before any reader can race in.
+        """
+        self._notify(name.lower(), kind="dml")
 
     # -- write gating ------------------------------------------------------------
     def exclusive(self):
@@ -151,6 +165,15 @@ class Catalog:
     def tables(self) -> Iterator[Table]:
         with self._lock:
             return iter(list(self._tables.values()))
+
+    def versions(self) -> dict[str, int]:
+        """Current mutation epoch of every table, by lowercased name."""
+        with self._lock:
+            return {key: t.version for key, t in self._tables.items()}
+
+    def version_of(self, name: str) -> int:
+        """Current mutation epoch of one table."""
+        return self.table(name).version
 
     def __contains__(self, name: str) -> bool:
         return self.has_table(name)

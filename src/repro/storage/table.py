@@ -14,7 +14,7 @@ access paths the engines use:
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import StorageError
 from repro.storage.buffer import BufferManager
@@ -39,6 +39,13 @@ class Table:
         self.buffer = buffer if buffer is not None else BufferManager()
         self._row_count = 0
         self._tail_page_no: int | None = None
+        #: Monotonic mutation epoch.  Every mutation (append, bulk load,
+        #: update, delete, truncate) advances it, so any cache keyed on
+        #: ``(table, version)`` is coherent without tracking what changed.
+        self.version = 0
+        #: column name → B+-tree over that column (rid values).  Rebuilt
+        #: wholesale after mutations — page rewrites shift rids.
+        self._indexes: dict[str, Any] = {}
         #: Serializes appends/truncation; reads are lock-free (they go
         #: through the latched buffer manager and snapshot page counts).
         self._write_lock = threading.Lock()
@@ -52,15 +59,36 @@ class Table:
     # -- building --------------------------------------------------------------
     def append(self, row: Sequence[Any]) -> None:
         """Append one Python row."""
-        encoded = self.schema.encode(row)
+        self.append_rows([row])
+
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append rows at the tail as ONE mutation: a single version bump.
+
+        Unlike :meth:`load_rows` this fills the current tail page before
+        growing, so small statements don't each open a fresh page; the
+        whole batch advances the epoch once, matching the
+        statement-granular invalidation the caches key on.
+        """
+        count = 0
         with self._write_lock:
-            page = self._tail_page()
-            if page.is_full:
-                page = self._grow()
-            page.insert(encoded)
-            assert self._tail_page_no is not None
-            self.buffer.unpin(self.file, self._tail_page_no, dirty=True)
-            self._row_count += 1
+            for row in rows:
+                encoded = self.schema.encode(row)
+                page = self._tail_page()
+                if page.is_full:
+                    page = self._grow()
+                slot = page.insert(encoded)
+                assert self._tail_page_no is not None
+                self.buffer.unpin(self.file, self._tail_page_no, dirty=True)
+                self._row_count += 1
+                if self._indexes:
+                    rid = (self._tail_page_no, slot)
+                    for column, index in self._indexes.items():
+                        position = self.schema.index_of(column)
+                        index.insert(row[position], rid)
+                count += 1
+            if count:
+                self.version += 1
+        return count
 
     def load_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk-append rows; returns the number inserted.
@@ -86,6 +114,8 @@ class Table:
             if page is not None:
                 self.buffer.unpin(self.file, page_no, dirty=True)
             self._row_count += count
+            self.version += 1
+            self._rebuild_indexes()
         return count
 
     def _tail_page(self) -> Page:
@@ -167,6 +197,129 @@ class Table:
                 page.clear()
                 self.buffer.unpin(self.file, page_no, dirty=True)
             self._row_count = 0
+            self.version += 1
+            self._rebuild_indexes()
+
+    # -- DML -----------------------------------------------------------------
+    def update_rows(
+        self,
+        predicate: Callable[[tuple], bool],
+        updater: Callable[[tuple], Sequence[Any]],
+    ) -> int:
+        """Rewrite matching rows in place; returns the match count.
+
+        Each page is rewritten independently: its rows are decoded, the
+        updater applied where the predicate matches, and the page
+        repacked.  Row counts per page never change, so every rewrite
+        fits.  New rows are fully encoded *before* the page is cleared,
+        so an encode failure (value does not fit the column) leaves the
+        page untouched.
+        """
+        changed = 0
+        rewrote = False
+        with self._write_lock:
+            try:
+                for page_no in range(self.file.num_pages):
+                    page = self.buffer.get_page(
+                        self.file, page_no, self.schema
+                    )
+                    dirty = False
+                    try:
+                        replacement: list[bytes] = []
+                        for row in page.rows():
+                            if predicate(row):
+                                row = tuple(updater(row))
+                                changed += 1
+                                dirty = True
+                            replacement.append(self.schema.encode(row))
+                        if dirty:
+                            page.clear()
+                            for encoded in replacement:
+                                page.insert(encoded)
+                            rewrote = True
+                    finally:
+                        self.buffer.unpin(self.file, page_no, dirty=dirty)
+            finally:
+                # Bump even when a later page failed to encode: earlier
+                # pages were already rewritten, so caches keyed on the
+                # old version must not survive.
+                if rewrote:
+                    self.version += 1
+                    self._rebuild_indexes()
+        return changed
+
+    def delete_rows(self, predicate: Callable[[tuple], bool]) -> int:
+        """Remove matching rows; returns the number removed.
+
+        Survivors are repacked front to front across the existing pages
+        (trailing pages are cleared, not deallocated), so page numbers
+        stay dense for the morsel-driven scans.
+        """
+        with self._write_lock:
+            survivors: list[tuple] = []
+            removed = 0
+            for page in self.pages():
+                for row in page.rows():
+                    if predicate(row):
+                        removed += 1
+                    else:
+                        survivors.append(row)
+            if removed:
+                self._repack(survivors)
+                self.version += 1
+                self._rebuild_indexes()
+        return removed
+
+    def _repack(self, rows: list[tuple]) -> None:
+        """Rewrite the whole heap with ``rows``; caller holds the lock."""
+        encode = self.schema.encode
+        cursor = 0
+        last_used: int | None = None
+        for page_no in range(self.file.num_pages):
+            page = self.buffer.get_page(self.file, page_no, self.schema)
+            page.clear()
+            while cursor < len(rows) and not page.is_full:
+                page.insert(encode(rows[cursor]))
+                cursor += 1
+            if page.num_tuples:
+                last_used = page_no
+            self.buffer.unpin(self.file, page_no, dirty=True)
+        self._row_count = len(rows)
+        if last_used is not None:
+            self._tail_page_no = last_used
+
+    # -- secondary indexes ----------------------------------------------------
+    def create_index(self, column: str) -> Any:
+        """Build (or return) a B+-tree index over ``column``."""
+        from repro.storage.btree import build_index
+
+        key = column.lower()
+        self.schema.index_of(key)  # raises CatalogError on unknown column
+        with self._write_lock:
+            if key not in self._indexes:
+                self._indexes[key] = build_index(self, key)
+            return self._indexes[key]
+
+    def index_on(self, column: str) -> Any | None:
+        """The registered index over ``column``, or None."""
+        return self._indexes.get(column.lower())
+
+    @property
+    def indexed_columns(self) -> tuple[str, ...]:
+        return tuple(self._indexes)
+
+    def _rebuild_indexes(self) -> None:
+        """Rebuild every registered index; caller holds the write lock.
+
+        Updates and deletes rewrite pages, which shifts rids, so the
+        whole tree is rebuilt rather than patched.
+        """
+        if not self._indexes:
+            return
+        from repro.storage.btree import build_index
+
+        for column in list(self._indexes):
+            self._indexes[column] = build_index(self, column)
 
 
 def _unqualified(schema: Schema) -> bool:

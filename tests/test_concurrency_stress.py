@@ -282,6 +282,53 @@ def test_ddl_excludes_readers_without_breaking_them(stress_db, expected):
     assert stress_db.buffer.num_pinned == 0
 
 
+def test_readers_see_consistent_snapshots_during_writes():
+    """Concurrent readers interleaving with multi-row DML only ever
+    observe a pre- or post-statement snapshot, never a partial write.
+
+    The writer alternates one multi-row INSERT with one DELETE of the
+    same rows, each a single statement under the catalog's write gate;
+    any reader-visible count other than ``base`` or ``base + batch``
+    would mean a statement's effects leaked mid-flight.
+    """
+    db = _build_db(workers=4)
+    db.set_parallel(min_pages=2, morsel_pages=2, min_rows=64)
+    batch = 16
+    base = db.table("accounts").num_rows
+    stop = threading.Event()
+
+    def writer():
+        values = ", ".join(
+            f"({10_000 + j}, 1.0, 0, 0, 'wx', 0.0)" for j in range(batch)
+        )
+        while not stop.is_set():
+            db.execute(f"INSERT INTO accounts VALUES {values}")
+            db.execute("DELETE FROM accounts WHERE id >= 10000")
+
+    churner = threading.Thread(target=writer)
+    churner.start()
+    try:
+
+        def session(thread_id: int):
+            rng = random.Random(thread_id)
+            for _ in range(ROUNDS * 3):
+                kind = ENGINE_KINDS[rng.randrange(len(ENGINE_KINDS))]
+                rows = db.execute(
+                    "SELECT count(*) AS n FROM accounts", engine=kind
+                )
+                assert rows[0][0] in (base, base + batch), (kind, rows)
+
+        _run_threads(session)
+    finally:
+        stop.set()
+        churner.join(timeout=60)
+        assert not churner.is_alive(), "writer wedged"
+    # The final DELETE restores the base row count exactly.
+    assert db.execute("SELECT count(*) AS n FROM accounts") == [(base,)]
+    assert db.buffer.num_pinned == 0
+    db.close()
+
+
 def test_parallel_config_is_visible_in_stats(stress_db):
     stress_db.execute(
         "SELECT region, count(*) AS n FROM accounts GROUP BY region"
